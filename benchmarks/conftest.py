@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it.  Simulations are deterministic unless a benchmark explicitly enables
+the measurement-noise model (CoV studies), so a single round per bench is
+meaningful; ``run_once`` wraps ``benchmark.pedantic`` accordingly.
+
+Environment knobs:
+
+* ``REPRO_QUICK=1`` — shrink grids/repetitions for smoke runs.
+"""
+
+import os
+
+import pytest
+
+QUICK = os.environ.get("REPRO_QUICK", "0") == "1"
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def quick():
+    return QUICK

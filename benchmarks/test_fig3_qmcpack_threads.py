@@ -1,0 +1,52 @@
+"""Regenerates Fig. 3: QMCPack Copy/zero-copy ratio vs OpenMP threads,
+one panel per NiO problem size.
+
+Expected shape (paper §V.A): all three zero-copy configurations beat Copy
+(ratio > 1) at every cell; the ratio grows with thread count; Eager Maps
+trails Implicit Z-C / USM below S128.
+"""
+
+from conftest import QUICK, run_once
+
+from repro.core import RuntimeConfig
+from repro.experiments import collect_qmcpack_grid, fig3_series, render_fig3
+from repro.workloads import Fidelity
+
+SIZES = (2, 8, 32) if QUICK else (2, 4, 8, 16, 24, 32, 48, 64, 128)
+THREADS = (1, 8) if QUICK else (1, 2, 4, 8)
+
+
+def test_fig3_qmcpack_thread_scaling(benchmark):
+    grid = run_once(
+        benchmark,
+        lambda: collect_qmcpack_grid(
+            sizes=SIZES,
+            threads=THREADS,
+            fidelity=Fidelity.BENCH,
+            reps=1,
+            noise=False,
+        ),
+    )
+    print()
+    print(render_fig3(grid))
+
+    for size in SIZES:
+        series = fig3_series(grid, size)
+        for config, points in series.items():
+            ratios = [r for _, r in points]
+            # zero-copy never loses to Copy on QMCPack (paper Fig. 3)
+            assert min(ratios) > 0.95, (size, config, ratios)
+            # ratio improves with thread count
+            assert ratios[-1] >= ratios[0] * 0.98, (size, config, ratios)
+    # Eager trails Implicit Z-C at small sizes (§V.A.4)
+    s2 = fig3_series(grid, 2)
+    assert (
+        s2[RuntimeConfig.EAGER_MAPS][-1][1]
+        < s2[RuntimeConfig.IMPLICIT_ZERO_COPY][-1][1]
+    )
+    benchmark.extra_info["max_ratio"] = max(
+        grid.ratio(s, t, c)
+        for s in SIZES
+        for t in THREADS
+        for c in (RuntimeConfig.IMPLICIT_ZERO_COPY,)
+    )

@@ -1,0 +1,80 @@
+"""Regenerates Table I: HSA API call statistics for QMCPack NiO S2 under
+Copy and Implicit Zero-Copy, with 1 and 8 OpenMP threads.
+
+Expected relationships (paper Table I):
+
+* Implicit Z-C issues ~3 ``memory_async_copy`` calls (device-image init)
+  and ~19/~90 pool allocations (1/8 threads) — storage operations happen
+  only at initialization.
+* Copy issues hundreds of thousands of copies (≈3 per kernel), with
+  ``signal_async_handler`` ≈ ⅔ of them, and tens of thousands of pool
+  allocations.
+* Call counts grow with thread count; the ``memory_async_copy`` latency
+  ratio reaches the thousands.
+
+At full fidelity the absolute counts land at paper scale (≈1e5 kernels
+per thread).  REPRO_QUICK runs at BENCH fidelity, preserving every
+relationship with ~20× smaller counts.
+"""
+
+from conftest import QUICK, run_once
+
+from repro.experiments import render_table1, table1_hsa_calls
+from repro.workloads import Fidelity
+
+FIDELITY = Fidelity.BENCH if QUICK else Fidelity.FULL
+
+#: paper's Table I for reference printing
+PAPER = {
+    1: {
+        "signal_wait_scacquire": (351_653, 99_627, 2.07),
+        "memory_pool_allocate": (23_277, 19, 7.41),
+        "memory_async_copy": (307_607, 3, 3_190),
+        "signal_async_handler": (194_848, 0, None),
+    },
+    8: {
+        "signal_wait_scacquire": (1_360_088, 738_483, 2.71),
+        "memory_pool_allocate": (20_848, 90, 3.68),
+        "memory_async_copy": (1_124_258, 3, 1.11e4),
+        "signal_async_handler": (491_492, 0, None),
+    },
+}
+
+
+def test_table1_hsa_call_statistics(benchmark):
+    result = run_once(
+        benchmark, lambda: table1_hsa_calls(fidelity=FIDELITY, threads=(1, 8))
+    )
+    print()
+    print(render_table1(result))
+    print("\npaper values (count_copy, count_izc, latency ratio):")
+    for t, rows in PAPER.items():
+        print(f"  {t} thread(s): {rows}")
+
+    for threads in (1, 8):
+        rows = {r.call: r for r in result.rows[threads]}
+        izc_copies = rows["memory_async_copy"].count_b
+        assert izc_copies == 3  # device image, offload table, device env
+        assert rows["signal_async_handler"].count_b == 0
+        assert rows["signal_async_handler"].latency_ratio is None
+        # Copy ≫ Implicit Z-C on every storage-related call
+        assert rows["memory_async_copy"].count_a > 1000 * izc_copies
+        assert rows["memory_pool_allocate"].count_a > 100
+        # handler/copy ratio ≈ 2/3 (paper: 0.63 / 0.44)
+        frac = rows["signal_async_handler"].count_a / rows["memory_async_copy"].count_a
+        assert 0.4 < frac < 0.75
+        # latency ratios point the same way as the counts
+        assert rows["memory_async_copy"].latency_ratio > 100
+        assert rows["memory_pool_allocate"].latency_ratio > 1.0
+
+    # thread scaling: waits grow ~linearly for Implicit Z-C (weak scaling
+    # of kernel launches), per-thread init allocations add ~10 each
+    r1 = {r.call: r for r in result.rows[1]}
+    r8 = {r.call: r for r in result.rows[8]}
+    wait_growth = r8["signal_wait_scacquire"].count_b / r1["signal_wait_scacquire"].count_b
+    assert 6.0 < wait_growth < 8.5  # paper: 7.4×
+    assert r1["memory_pool_allocate"].count_b == 19  # paper: 19
+    assert r8["memory_pool_allocate"].count_b == 89  # paper: 90
+
+    benchmark.extra_info["izc_allocs_1t"] = r1["memory_pool_allocate"].count_b
+    benchmark.extra_info["copy_copies_1t"] = r1["memory_async_copy"].count_a

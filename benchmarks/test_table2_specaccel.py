@@ -1,0 +1,75 @@
+"""Regenerates Table II: Copy / zero-copy total-time ratios for the five
+SPECaccel 2023 C/C++ proxies.
+
+Expected shape (paper Table II):
+
+=============  ========  =======  ======  ======  ======
+configuration   stencil    lbm      ep      spC     bt
+=============  ========  =======  ======  ======  ======
+Implicit Z-C     0.99      1.05    0.89    7.80    4.88
+USM              0.99      1.043   0.89    7.61    4.77
+Eager Maps       0.98      1.025   0.99    8.10    5.10
+=============  ========  =======  ======  ======  ======
+
+We assert the band each value falls in and the orderings the paper
+explains mechanistically (Eager best on spC/bt, Eager recovering ep,
+zero-copy losing slightly on stencil/ep only).  The paper runs 8
+repetitions; we default to 4 to keep the harness under ~10 minutes and
+report the CoV (paper max: 0.03).
+"""
+
+from conftest import QUICK, run_once
+
+from repro.core import RuntimeConfig
+from repro.experiments import render_table2, table2_specaccel
+from repro.workloads import Fidelity
+
+REPS = 2 if QUICK else 4
+IZC = RuntimeConfig.IMPLICIT_ZERO_COPY
+USM = RuntimeConfig.UNIFIED_SHARED_MEMORY
+EAGER = RuntimeConfig.EAGER_MAPS
+
+#: acceptance bands: (config, benchmark) → (lo, hi)
+BANDS = {
+    ("stencil", IZC): (0.97, 1.01),
+    ("stencil", EAGER): (0.96, 1.02),
+    ("lbm", IZC): (1.01, 1.12),
+    ("lbm", EAGER): (1.00, 1.11),
+    ("ep", IZC): (0.85, 0.93),
+    ("ep", EAGER): (0.96, 1.01),
+    ("spC", IZC): (7.0, 8.7),
+    ("spC", EAGER): (7.3, 9.0),
+    ("bt", IZC): (4.3, 5.4),
+    ("bt", EAGER): (4.6, 5.7),
+}
+
+
+def test_table2_specaccel_ratios(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: table2_specaccel(reps=REPS, fidelity=Fidelity.FULL, noise=True),
+    )
+    print()
+    print(render_table2(result))
+
+    for (bench, config), (lo, hi) in BANDS.items():
+        got = result.ratios[bench][config]
+        assert lo <= got <= hi, (bench, config.label, got, (lo, hi))
+
+    # mechanistic orderings the paper explains
+    assert result.ratios["spC"][EAGER] > result.ratios["spC"][IZC]
+    assert result.ratios["bt"][EAGER] > result.ratios["bt"][IZC]
+    assert result.ratios["ep"][EAGER] > result.ratios["ep"][IZC]
+    assert result.ratios["lbm"][EAGER] < result.ratios["lbm"][IZC]
+    # USM ≡ IZC up to noise (no globals in any benchmark)
+    for bench in result.ratios:
+        izc, usm = result.ratios[bench][IZC], result.ratios[bench][USM]
+        assert abs(izc - usm) / izc < 0.1, bench
+
+    # statistical robustness: paper reports max CoV 0.03
+    assert result.max_cov() < 0.08
+
+    benchmark.extra_info["ratios"] = {
+        b: {c.value: round(r, 3) for c, r in by.items()}
+        for b, by in result.ratios.items()
+    }

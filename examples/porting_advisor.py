@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Porting advisor: should *your* application change anything on MI300A?
+
+The paper's second research question (§V): "Do I have to rewrite or
+re-optimize/tune my application when moving to an APU?"  This example
+shows how to answer it for an application you characterize yourself:
+describe your app's offload pattern, and the advisor simulates it under
+every runtime configuration and reports which one wins and what the
+dominant overhead is.
+
+Three canned profiles are analyzed (a streaming solver, an
+allocation-churning solver, and a first-touch-heavy Monte Carlo code);
+edit ``PROFILES`` to model your own.
+
+Run:  python examples/porting_advisor.py
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import ALL_CONFIGS, MapClause, MapKind, RuntimeConfig
+from repro.experiments import execute
+from repro.memory import GIB, KIB, MIB
+from repro.workloads.base import Fidelity, Workload
+
+
+@dataclass
+class AppProfile:
+    """A coarse offload characterization of an application."""
+
+    name: str
+    working_set_bytes: int       #: data mapped for the run
+    kernels: int                 #: target launches
+    kernel_us: float             #: mean kernel duration
+    per_kernel_transfer_bytes: int  #: always-mapped parameter/result bytes
+    remap_cycle: int             #: remap working set every N kernels (0=never)
+    gpu_initializes_data: bool   #: first touch happens in a target region
+
+
+PROFILES = [
+    AppProfile("streaming-solver", 4 * GIB, 2000, 3000.0, 64 * KIB, 0, False),
+    AppProfile("churning-solver", 3 * GIB, 1000, 2000.0, 64 * KIB, 10, False),
+    AppProfile("mc-initializer", 8 * GIB, 3000, 400.0, 256 * KIB, 0, True),
+]
+
+
+class ProfiledApp(Workload):
+    """Synthesizes an offload stream from an :class:`AppProfile`."""
+
+    def __init__(self, profile: AppProfile):
+        super().__init__(Fidelity.FULL)
+        self.name = profile.name
+        self.profile = profile
+
+    def make_body(self):
+        p = self.profile
+
+        def body(th, tid):
+            data = yield from th.alloc("data", p.working_set_bytes,
+                                       payload=np.zeros(64))
+            par = yield from th.alloc("par", p.per_kernel_transfer_bytes,
+                                      payload=np.ones(4))
+            kind = MapKind.ALLOC if p.gpu_initializes_data else MapKind.TO
+            yield from th.target_enter_data([MapClause(data, kind)])
+            for k in range(p.kernels):
+                if p.remap_cycle and k and k % p.remap_cycle == 0:
+                    yield from th.target_exit_data(
+                        [MapClause(data, MapKind.DELETE)]
+                    )
+                    yield from th.target_enter_data([MapClause(data, kind)])
+                yield from th.target(
+                    "step", p.kernel_us,
+                    maps=[MapClause(data, MapKind.ALLOC),
+                          MapClause(par, MapKind.TO, always=True)],
+                    fn=lambda a, g: a["data"].__iadd__(g_scale(a)),
+                )
+            yield from th.target_exit_data([MapClause(data, MapKind.FROM)])
+
+        def g_scale(a):
+            return a["par"][0] * 0.001
+
+        return body
+
+
+def advise(profile: AppProfile) -> None:
+    print(f"\n=== {profile.name} ===")
+    times = {}
+    details = {}
+    for config in ALL_CONFIGS:
+        res = execute(ProfiledApp(profile), config)
+        times[config] = res.elapsed_us
+        details[config] = res.ledger
+    best = min(times, key=times.get)
+    base = times[RuntimeConfig.COPY]
+    print(f"  {'configuration':<24}{'time (s)':>10}{'vs Copy':>9}"
+          f"{'MM (s)':>9}{'MI (s)':>9}")
+    for config in ALL_CONFIGS:
+        led = details[config]
+        marker = "  <-- best" if config is best else ""
+        print(
+            f"  {config.label:<24}{times[config] / 1e6:>10.2f}"
+            f"{base / times[config]:>9.2f}"
+            f"{led.mm_us / 1e6:>9.2f}{led.mi_us / 1e6:>9.2f}{marker}"
+        )
+    led = details[best]
+    if best is RuntimeConfig.COPY:
+        print("  advice: keep Copy semantics OR prefer Eager Maps — your app")
+        print("  first-touches big memory on the GPU; plain zero-copy will")
+        print("  absorb XNACK replay in your kernels.")
+    elif led.prefault_us > 0:
+        print("  advice: enable Eager Maps (OMPX eager prefaulting): your")
+        print("  mapping pattern re-touches fresh pages.")
+    else:
+        print("  advice: run as-is — Implicit Zero-Copy is automatic on an")
+        print("  APU with XNACK and your discrete-GPU optimizations do not")
+        print("  hurt (§V conclusion).")
+
+
+def main():
+    print("Porting advisor — simulating your offload profile on MI300A")
+    for profile in PROFILES:
+        advise(profile)
+
+
+if __name__ == "__main__":
+    main()

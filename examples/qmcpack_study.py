@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""QMCPack NiO study: a compact version of the paper's Figs. 3 and 4.
+
+Sweeps problem sizes and OpenMP host-thread counts for the QMCPack proxy
+and prints the Copy/zero-copy steady-state time ratios, reproducing the
+two headline trends of §V.A:
+
+* more host threads sharing one device → bigger zero-copy advantage
+  (Copy contends on the runtime's allocation lock and copy engines);
+* bigger problems → smaller advantage (kernel time dominates).
+
+Run:  python examples/qmcpack_study.py          (~2-3 minutes)
+      python examples/qmcpack_study.py --quick  (subset, ~30 s)
+"""
+
+import sys
+
+from repro.experiments import (
+    ascii_chart,
+    collect_qmcpack_grid,
+    fig4_series,
+    render_fig3,
+    render_fig4,
+)
+from repro.workloads import Fidelity
+
+
+def main():
+    quick = "--quick" in sys.argv
+    sizes = (2, 32) if quick else (2, 8, 32, 128)
+    threads = (1, 8) if quick else (1, 2, 4, 8)
+
+    print(f"collecting QMCPack grid: sizes={sizes}, threads={threads} ...\n")
+    grid = collect_qmcpack_grid(
+        sizes=sizes,
+        threads=threads,
+        fidelity=Fidelity.BENCH,
+        reps=1,
+        noise=False,
+        progress=lambda msg: print(f"  running {msg}"),
+    )
+    print()
+    print(render_fig3(grid))
+    print()
+    print(render_fig4(grid, threads=max(threads)))
+    print()
+    series = {
+        cfg.label: pts for cfg, pts in fig4_series(grid, max(threads)).items()
+    }
+    print(ascii_chart(
+        series,
+        title=f"Fig. 4 shape ({max(threads)} threads)",
+        x_label="NiO size",
+        y_label="Copy / zero-copy ratio",
+        y_floor=1.0,
+    ))
+    print()
+    print("Reading the output:")
+    print(" * every ratio > 1: zero-copy beats Legacy Copy on QMCPack")
+    print(" * down a column (more threads): the ratio grows — Copy's extra")
+    print("   runtime calls serialize across host threads (§V.A.2)")
+    print(" * across Fig. 4 (bigger problems): the ratio falls toward ~1.2 —")
+    print("   kernel execution starts dominating (§V.A.3)")
+    print(" * Eager Maps trails Implicit Z-C below S128: per-map prefault")
+    print("   syscalls outweigh the first-touch savings (§V.A.4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: one OpenMP offload program under all four MI300A runtime
+configurations.
+
+Builds the paper's Fig. 2 example program — ``a[i] += b[i] * alpha`` with
+a declare-target global — runs it under Copy, Unified Shared Memory,
+Implicit Zero-Copy and Eager Maps, verifies the results are identical,
+and prints what each configuration actually did (time, storage
+operations, faults).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ALL_CONFIGS, ApuSystem, MapClause, MapKind, OpenMPRuntime
+from repro.memory import MIB
+
+
+def fig2_program(alpha_glob, n=1024):
+    """The example program of paper Fig. 2, as a simulated thread body."""
+
+    def body(th, tid):
+        a = yield from th.alloc("a", 64 * MIB, payload=np.arange(float(n)))
+        b = yield from th.alloc("b", 64 * MIB, payload=np.full(n, 2.0))
+        # #pragma omp target teams loop map(tofrom: a) map(to: b) \
+        #                               map(always, to: alpha)
+        yield from th.update_global(alpha_glob)
+        yield from th.target(
+            "axpy",
+            compute_us=500.0,
+            maps=[MapClause(a, MapKind.TOFROM), MapClause(b, MapKind.TO)],
+            fn=lambda args, g: args["a"].__iadd__(args["b"] * g["alpha"][0]),
+            globals_used=[alpha_glob],
+        )
+        return a.payload.copy()
+
+    return body
+
+
+def main():
+    print("Fig. 2 example program under the four runtime configurations\n")
+    header = (
+        f"{'configuration':<24}{'time (µs)':>12}{'pool allocs':>13}"
+        f"{'copies':>9}{'faulted pages':>15}{'prefault µs':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    results = {}
+    for config in ALL_CONFIGS:
+        system = ApuSystem.mi300a()
+        runtime = OpenMPRuntime(system, config)
+        alpha = runtime.declare_target("alpha", np.array([3.0]))
+        out = {}
+
+        def body(th, tid, out=out, alpha=alpha):
+            out["a"] = yield from fig2_program(alpha)(th, tid)
+
+        res = runtime.run(body)
+        results[config] = out["a"]
+        tr = res.hsa_trace
+        print(
+            f"{config.label:<24}{res.elapsed_us:>12.1f}"
+            f"{tr.count('memory_pool_allocate'):>13}"
+            f"{tr.count('memory_async_copy'):>9}"
+            f"{res.ledger.n_faulted_pages:>15}"
+            f"{res.ledger.prefault_us:>13.1f}"
+        )
+
+    expected = np.arange(1024.0) + 2.0 * 3.0
+    for config, a in results.items():
+        assert np.array_equal(a, expected), config
+    print("\nAll four configurations produced bit-identical results")
+    print("(the paper's §IV: 'From an OpenMP semantics viewpoint, they are")
+    print("all equivalent') — they differ only in where the time went.")
+
+
+if __name__ == "__main__":
+    main()

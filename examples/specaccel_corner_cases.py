@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""SPECaccel corner cases: when does zero-copy lose, and why?
+
+Runs the five SPECaccel 2023 proxies under all configurations and prints
+Table II (ratios) and Table III (MM/MI overhead decomposition), then
+explains each benchmark's behaviour the way the paper's §V.B does.
+
+Run:  python examples/specaccel_corner_cases.py          (~2-4 minutes)
+      python examples/specaccel_corner_cases.py --quick  (scaled down)
+"""
+
+import sys
+
+from repro.experiments import (
+    render_table2,
+    render_table3,
+    table2_specaccel,
+    table3_overheads,
+)
+from repro.workloads import Fidelity
+
+EXPLANATIONS = """
+Reading the results (paper §V.B):
+
+403.stencil (≈0.99): Copy pays two grid transfers + a one-time pool
+  allocation (MM ~1e5 µs); zero-copy instead absorbs first-touch XNACK
+  replay for the multi-GiB grids inside the first kernels (MI ~1e6 µs).
+  Over a ~100 s run that is a ~1 % loss.
+
+404.lbm (≈1.05): one big initial transfer plus per-timestep parameter
+  and field-store maps; Copy pays per-step copies and waits that
+  zero-copy folds.  A small net win for zero-copy.
+
+452.ep (0.89): allocates big buffers and initializes them *inside a
+  target region*, every cycle, from fresh OS memory — so XNACK replay
+  recurs every cycle under Implicit Z-C / USM.  Copy's pool memory is
+  bulk-mapped at allocation time and cached, so its init kernels never
+  fault.  Eager Maps prefaults per map (~25 µs/page instead of ~500) and
+  recovers to ≈0.99.
+
+457.spC (7.8) and 470.bt (4.9): GB-scale map alloc/delete every 13 (10)
+  kernels.  The allocations exceed the ROCr pool's retention threshold,
+  so Copy pays full driver work every cycle — tens of ms per allocation
+  against kernels capped at ~6 % (30 %) of one allocation.  Zero-copy
+  folds all of it.  Eager Maps wins outright because the per-invocation
+  stack arrays re-fault under XNACK every host function call but are
+  cheaply prefaulted by the eager path.
+"""
+
+
+def main():
+    quick = "--quick" in sys.argv
+    fidelity = Fidelity.BENCH if quick else Fidelity.FULL
+    reps = 2 if quick else 3
+
+    print(f"running SPECaccel proxies (fidelity={fidelity.value}, reps={reps}) ...")
+    t2 = table2_specaccel(
+        reps=reps, fidelity=fidelity, noise=True,
+        progress=lambda msg: print(f"  {msg}"),
+    )
+    print()
+    print(render_table2(t2))
+    print()
+    print("computing overhead decomposition (Table III) ...")
+    t3 = table3_overheads(fidelity=fidelity)
+    print()
+    print(render_table3(t3))
+    print(EXPLANATIONS)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+::
+
+    python -m repro fig3   [--sizes 2,8,32] [--threads 1,2,4,8] [--quick]
+    python -m repro fig4
+    python -m repro table1 [--quick]
+    python -m repro table2 [--reps 4]
+    python -m repro table3
+    python -m repro all    [--quick] [--out report.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    collect_qmcpack_grid,
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_hsa_calls,
+    table2_specaccel,
+    table3_overheads,
+)
+from .workloads import Fidelity
+
+__all__ = ["main"]
+
+
+def _ints(text: str) -> List[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def _progress(msg: str) -> None:
+    print(f"  running {msg}", file=sys.stderr, flush=True)
+
+
+def _fig_grid(args, threads):
+    return collect_qmcpack_grid(
+        sizes=tuple(args.sizes),
+        threads=threads,
+        fidelity=Fidelity.BENCH,
+        reps=1 if args.quick else args.reps,
+        noise=not args.quick and args.reps > 1,
+        progress=_progress,
+    )
+
+
+def cmd_fig3(args) -> str:
+    return render_fig3(_fig_grid(args, tuple(args.threads)))
+
+
+def cmd_fig4(args) -> str:
+    return render_fig4(_fig_grid(args, (8,)), threads=8)
+
+
+def cmd_table1(args) -> str:
+    fidelity = Fidelity.BENCH if args.quick else Fidelity.FULL
+    return render_table1(table1_hsa_calls(fidelity=fidelity, threads=(1, 8)))
+
+
+def cmd_table2(args) -> str:
+    fidelity = Fidelity.BENCH if args.quick else Fidelity.FULL
+    result = table2_specaccel(
+        reps=2 if args.quick else args.reps,
+        fidelity=fidelity,
+        progress=_progress,
+    )
+    return render_table2(result)
+
+
+def cmd_table3(args) -> str:
+    fidelity = Fidelity.BENCH if args.quick else Fidelity.FULL
+    return render_table3(table3_overheads(fidelity=fidelity))
+
+
+def cmd_all(args) -> str:
+    parts = [
+        cmd_fig3(args),
+        cmd_fig4(args),
+        cmd_table1(args),
+        cmd_table2(args),
+        cmd_table3(args),
+    ]
+    return ("\n\n" + "=" * 72 + "\n\n").join(parts)
+
+
+_COMMANDS = {
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "all": cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the SC'24 MI300A "
+        "zero-copy paper from the simulation.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument(
+        "--sizes", type=_ints, default=[2, 8, 32, 128],
+        help="NiO sizes for the figures (comma separated)",
+    )
+    parser.add_argument(
+        "--threads", type=_ints, default=[1, 2, 4, 8],
+        help="thread counts for fig3 (comma separated)",
+    )
+    parser.add_argument("--reps", type=int, default=4, help="repetitions")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down fidelity/repetitions for smoke runs",
+    )
+    parser.add_argument("--out", default=None, help="write report to a file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = _COMMANDS[args.command](args)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(report)
+    return 0

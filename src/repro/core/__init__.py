@@ -1,0 +1,23 @@
+"""Core: runtime configurations, policies, cost model, system assembly."""
+
+from .config import (
+    ALL_CONFIGS,
+    ZERO_COPY_CONFIGS,
+    ConfigError,
+    RunEnvironment,
+    RuntimeConfig,
+    select_config,
+)
+from .params import CostModel
+from .system import ApuSystem
+
+__all__ = [
+    "ALL_CONFIGS",
+    "ApuSystem",
+    "ConfigError",
+    "CostModel",
+    "RunEnvironment",
+    "RuntimeConfig",
+    "ZERO_COPY_CONFIGS",
+    "select_config",
+]

@@ -1,0 +1,12 @@
+"""AMDGPU driver + OS syscall models."""
+
+from .kfd import FaultResult, GpuMemoryError, Kfd, PrefaultResult
+from .syscall import SyscallModel
+
+__all__ = [
+    "FaultResult",
+    "GpuMemoryError",
+    "Kfd",
+    "PrefaultResult",
+    "SyscallModel",
+]

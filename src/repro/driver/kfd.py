@@ -1,0 +1,196 @@
+"""AMDGPU kernel driver model ("KFD"): the GPU side of the page tables.
+
+Implements the three translation-installation mechanisms the paper
+distinguishes (§III.B, §IV):
+
+* :meth:`service_xnack_faults` — the XNACK-replay protocol.  A GPU thread
+  touching an untranslated page stalls while the driver walks the CPU page
+  table and installs the entry into the GPU table.  "This cost is one-off
+  per page" — subsequent touches are free.  The cost is charged to the
+  running kernel by the OpenMP target layer.
+* :meth:`bulk_map_new_memory` — allocation of "device" memory through the
+  ROCr pool: the driver allocates HBM frames and installs GPU translations
+  in bulk, XNACK-disabled style, so kernels touching pool memory never
+  fault (this is why Copy has MI = 0 in Table III).
+* :meth:`prefault` — the Eager-Maps path: a host-initiated, privileged
+  update that walks the CPU table and inserts any missing entries;
+  re-prefaulting present pages still costs a (cheaper) verification pass.
+
+Freeing host memory triggers :meth:`mmu_unmap` (an mmu-notifier analogue):
+GPU translations for the range are shot down, which is what forces
+re-faulting of 452.ep's re-allocated buffers and spC/bt's per-invocation
+stack arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.params import CostModel
+from ..memory.layout import DEVICE_POOL_BASE, AddressRange, align_up
+from ..memory.pagetable import MapOrigin, PageTable
+from ..memory.physical import PhysicalMemory
+
+__all__ = ["Kfd", "GpuMemoryError", "PrefaultResult", "FaultResult"]
+
+
+class GpuMemoryError(RuntimeError):
+    """GPU accessed untranslated memory with XNACK disabled (fatal on HW)."""
+
+
+@dataclass(frozen=True)
+class PrefaultResult:
+    """Outcome of one prefault ioctl."""
+
+    n_new: int
+    n_present: int
+    work_us: float  #: kernel-side work excluding the syscall base cost
+
+
+@dataclass(frozen=True)
+class FaultResult:
+    """Outcome of XNACK servicing for one kernel launch."""
+
+    n_faults: int
+    stall_us: float  #: added to the kernel's execution time
+
+
+class Kfd:
+    """Driver state: GPU page table + device-pool VA window."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        physical: PhysicalMemory,
+        cpu_pt: PageTable,
+        gpu_pt: PageTable,
+        xnack_enabled: bool = True,
+    ):
+        self.cost = cost
+        self.physical = physical
+        self.cpu_pt = cpu_pt
+        self.gpu_pt = gpu_pt
+        self.xnack_enabled = xnack_enabled
+        #: optional jitter applied to XNACK stall costs (fault servicing on
+        #: real systems has high variance: interrupt coalescing, page-table
+        #: walk contention).  Set by ApuSystem when noise is enabled.
+        self.stall_jitter = None
+        self.page_size = cost.page_size
+        self._pool_cursor = DEVICE_POOL_BASE
+        # counters
+        self.xnack_faults_serviced = 0
+        self.pages_prefaulted = 0
+        self.pages_bulk_mapped = 0
+        self.shootdowns = 0
+
+    # -- XNACK replay (GPU-initiated) ------------------------------------
+    def service_xnack_faults(self, ranges: List[AddressRange]) -> FaultResult:
+        """Install translations for every missing page of the given host
+        ranges, as a kernel touching them would.  Returns the stall time to
+        charge to the kernel.  Raises if XNACK is disabled and a
+        translation is missing — on hardware this is a fatal memory
+        violation, and catching it in tests guards the configuration
+        matrix (Eager Maps must have prefaulted everything).
+        """
+        n = 0
+        for rng in ranges:
+            for page in rng.pages(self.page_size):
+                if self.gpu_pt.present(page):
+                    continue
+                if not self.xnack_enabled:
+                    raise GpuMemoryError(
+                        f"GPU touched unmapped page 0x{page:x} with XNACK disabled"
+                    )
+                cpu_pte = self.cpu_pt.lookup(page)
+                if cpu_pte is None:
+                    raise GpuMemoryError(
+                        f"GPU touched page 0x{page:x} with no CPU translation"
+                    )
+                self.gpu_pt.install(page, cpu_pte.frame, MapOrigin.XNACK_REPLAY)
+                n += 1
+        self.xnack_faults_serviced += n
+        stall = 0.0
+        if n:
+            stall = self.cost.xnack_kernel_entry_us + n * self.cost.xnack_fault_us_per_page
+            if self.stall_jitter is not None:
+                stall = self.stall_jitter.apply(stall)
+        return FaultResult(n, stall)
+
+    def count_missing_pages(self, ranges: List[AddressRange]) -> int:
+        """How many pages a kernel touching these ranges would fault on."""
+        n = 0
+        for rng in ranges:
+            for page in rng.pages(self.page_size):
+                if not self.gpu_pt.present(page):
+                    n += 1
+        return n
+
+    # -- ROCr pool path (bulk, XNACK-disabled style) -----------------------
+    def bulk_map_new_memory(self, nbytes: int) -> Tuple[AddressRange, float]:
+        """Allocate fresh driver memory for the ROCr pool.
+
+        Allocates frames, installs GPU translations in bulk, and returns
+        the new range plus the driver-side work time (per-page: page-table
+        writes + zeroing).
+        """
+        if nbytes <= 0:
+            raise ValueError(f"pool growth must be positive, got {nbytes}")
+        size = align_up(nbytes, self.page_size)
+        rng = AddressRange(self._pool_cursor, nbytes)
+        self._pool_cursor += size
+        n_pages = 0
+        for page in rng.pages(self.page_size):
+            frame = self.physical.alloc_frame()
+            self.gpu_pt.install(page, frame, MapOrigin.BULK_ALLOC)
+            n_pages += 1
+        self.pages_bulk_mapped += n_pages
+        return rng, n_pages * self.cost.pool_alloc_page_us
+
+    def release_pool_memory(self, rng: AddressRange) -> float:
+        """Return pool memory to the driver; GPU translations die."""
+        frames = []
+        n = 0
+        for page in rng.pages(self.page_size):
+            pte = self.gpu_pt.evict(page)
+            frames.append(pte.frame)
+            n += 1
+        self.physical.free_frames(frames)
+        return n * self.cost.pool_release_page_us
+
+    # -- Eager-Maps prefault ioctl -----------------------------------------
+    def prefault(self, rng: AddressRange) -> PrefaultResult:
+        """Host-initiated GPU page-table prefault over a host range.
+
+        Missing pages are walked in the CPU table and installed; present
+        pages cost a (syscall-side) verification.  The caller wraps this
+        in a traced ``svm_attributes_set`` syscall.
+        """
+        n_new = n_present = 0
+        for page in rng.pages(self.page_size):
+            if self.gpu_pt.present(page):
+                n_present += 1
+                continue
+            cpu_pte = self.cpu_pt.lookup(page)
+            if cpu_pte is None:
+                raise GpuMemoryError(
+                    f"prefault of page 0x{page:x} with no CPU translation"
+                )
+            self.gpu_pt.install(page, cpu_pte.frame, MapOrigin.PREFAULT)
+            n_new += 1
+        self.pages_prefaulted += n_new
+        work = (
+            n_new * self.cost.prefault_page_us
+            + n_present * self.cost.prefault_verify_page_us
+        )
+        return PrefaultResult(n_new, n_present, work)
+
+    # -- mmu notifier ---------------------------------------------------------
+    def mmu_unmap(self, rng: AddressRange) -> None:
+        """Shoot down GPU translations when host memory is unmapped.
+
+        Frames are owned (and freed) by the OS allocator for host memory;
+        the driver only drops its translations.
+        """
+        evicted = self.gpu_pt.evict_range(rng)
+        self.shootdowns += len(evicted)

@@ -1,0 +1,34 @@
+"""System-call cost model.
+
+Eager Maps turns OpenMP mapping into GPU page-table prefaulting, which —
+unlike the GPU-initiated XNACK path — "is issued from the host side and
+requires supervisor privilege to modify page tables, using a system call"
+(§IV.D).  Syscalls are also where OS interference lands: the paper's
+Eager-Maps outliers (S32 @ 8 threads, CoV 4.2) are attributed to "random
+interference by the operating system" on the prefault path.  The heavy
+tail in :class:`~repro.sim.rng.Jitter` is therefore attached here.
+"""
+
+from __future__ import annotations
+
+from ..sim import Environment, Jitter
+
+__all__ = ["SyscallModel"]
+
+
+class SyscallModel:
+    """Computes jittered syscall durations and counts invocations."""
+
+    def __init__(self, env: Environment, base_us: float, jitter: Jitter):
+        self.env = env
+        self.base_us = base_us
+        self.jitter = jitter
+        self.invocations = 0
+        self.total_us = 0.0
+
+    def duration(self, extra_us: float = 0.0) -> float:
+        """Duration of one syscall doing ``extra_us`` of kernel-side work."""
+        self.invocations += 1
+        dur = self.jitter.apply(self.base_us + extra_us)
+        self.total_us += dur
+        return dur

@@ -1,0 +1,78 @@
+"""Terminal plotting: ASCII line charts for figure series.
+
+No plotting dependency is available offline, so the figure benchmarks and
+examples render their series as compact ASCII charts — enough to *see*
+Fig. 3's growth with threads and Fig. 4's decline with problem size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@"
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+    y_floor: float = None,
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    X positions are spaced by rank (categorical axis — problem sizes and
+    thread counts are log-ish scales in the paper's figures), y is linear.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    ys = [y for pts in series.values() for _, y in pts]
+    if not xs or not ys:
+        raise ValueError("empty series")
+    lo = min(ys) if y_floor is None else min(min(ys), y_floor)
+    hi = max(ys)
+    if hi == lo:
+        hi = lo + 1.0
+    pad = 0.06 * (hi - lo)
+    lo, hi = lo - pad, hi + pad
+
+    grid = [[" "] * width for _ in range(height)]
+    x_pos = {x: round(i * (width - 1) / max(len(xs) - 1, 1)) for i, x in enumerate(xs)}
+
+    def y_row(y: float) -> int:
+        frac = (y - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    legend = []
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            r, c = y_row(y), x_pos[x]
+            grid[r][c] = marker if grid[r][c] == " " else "&"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_at = hi - (hi - lo) * i / (height - 1)
+        axis = f"{y_at:7.2f} |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    ticks = [" "] * width
+    for x, c in x_pos.items():
+        label = str(int(x)) if float(x).is_integer() else f"{x:g}"
+        start = min(c, width - len(label))  # keep the label on the canvas
+        for j, ch in enumerate(label):
+            ticks[start + j] = ch
+    lines.append(" " * 9 + "".join(ticks) + (f"   {x_label}" if x_label else ""))
+    lines.append(" " * 9 + "  ".join(legend) + ("   (&=overlap)" if any(
+        "&" in "".join(r) for r in grid) else ""))
+    if y_label:
+        lines.insert(1 if title else 0, f"  [{y_label}]")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""ASCII/markdown rendering of regenerated figures and tables.
+
+Everything the benchmark harness prints flows through here, so the rows
+and series appear in the same layout the paper uses (and EXPERIMENTS.md
+can be regenerated mechanically).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.config import ZERO_COPY_CONFIGS, RuntimeConfig
+from .figures import QmcPackGrid, fig3_series, fig4_series
+from .tables import PAPER_TABLE2, Table1Result, Table2Result, Table3Result
+
+__all__ = [
+    "render_fig3",
+    "render_fig4",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]
+
+_SHORT = {
+    RuntimeConfig.UNIFIED_SHARED_MEMORY: "USM",
+    RuntimeConfig.IMPLICIT_ZERO_COPY: "Implicit Z-C",
+    RuntimeConfig.EAGER_MAPS: "Eager Maps",
+}
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def render_fig3(grid: QmcPackGrid, sizes: Sequence[int] = ()) -> str:
+    """Fig. 3: one block per problem size, ratio vs thread count."""
+    sizes = list(sizes) or grid.sizes()
+    lines = ["Fig. 3 — Copy/zero-copy steady-state time ratio vs OpenMP threads"]
+    for size in sizes:
+        lines.append(_rule())
+        lines.append(f"NiO S{size}")
+        header = "  threads | " + " | ".join(f"{_SHORT[c]:>12}" for c in ZERO_COPY_CONFIGS)
+        lines.append(header)
+        series = fig3_series(grid, size)
+        for i, t in enumerate(grid.threads()):
+            row = " | ".join(
+                f"{series[c][i][1]:12.2f}" for c in ZERO_COPY_CONFIGS
+            )
+            lines.append(f"  {t:>7} | {row}")
+    return "\n".join(lines)
+
+
+def render_fig4(grid: QmcPackGrid, threads: int = 8) -> str:
+    """Fig. 4: ratio vs problem size at a fixed thread count."""
+    lines = [
+        f"Fig. 4 — Copy/zero-copy steady-state time ratio vs problem size "
+        f"({threads} OpenMP threads)",
+        _rule(),
+    ]
+    series = fig4_series(grid, threads)
+    header = "  size | " + " | ".join(f"{_SHORT[c]:>12}" for c in ZERO_COPY_CONFIGS)
+    lines.append(header)
+    for i, s in enumerate(grid.sizes()):
+        row = " | ".join(f"{series[c][i][1]:12.2f}" for c in ZERO_COPY_CONFIGS)
+        lines.append(f"  S{s:<4} | {row}")
+    return "\n".join(lines)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table I layout: per thread count, counts + latency ratio."""
+    lines = [
+        f"Table I — HSA API call statistics, QMCPack NiO S{result.size} "
+        f"(Copy vs Implicit Z-C), fidelity={result.fidelity.value}"
+    ]
+    for threads, rows in sorted(result.rows.items()):
+        lines.append(_rule(86))
+        lines.append(f"{threads} OpenMP thread(s)")
+        lines.append(
+            f"  {'ROCr/HSA call':<24}{'Used for':<24}{'Copy #':>12}"
+            f"{'Impl Z-C #':>12}{'Lat. ratio':>12}"
+        )
+        for r in rows:
+            lines.append(
+                f"  {r.call:<24}{r.used_for:<24}{r.count_a:>12,}"
+                f"{r.count_b:>12,}{r.ratio_str():>12}"
+            )
+    return "\n".join(lines)
+
+
+def render_table2(result: Table2Result, compare_paper: bool = True) -> str:
+    """Table II layout, optionally with the paper's values alongside."""
+    benchmarks = list(result.ratios)
+    lines = [
+        f"Table II — Copy / zero-copy total-time ratios, SPECaccel 2023 "
+        f"({result.reps} reps, median)",
+        _rule(86),
+        "  " + f"{'Configuration':<24}" + "".join(f"{b:>12}" for b in benchmarks),
+    ]
+    for config in ZERO_COPY_CONFIGS:
+        cells = "".join(f"{result.ratios[b][config]:>12.3f}" for b in benchmarks)
+        lines.append(f"  {_SHORT[config]:<24}{cells}")
+        if compare_paper:
+            paper = "".join(
+                f"{PAPER_TABLE2[b][config]:>12.3f}" for b in benchmarks
+            )
+            lines.append(f"  {'  (paper)':<24}{paper}")
+    lines.append(f"  max CoV observed: {result.max_cov():.3f} (paper: 0.03)")
+    return "\n".join(lines)
+
+
+def render_table3(result: Table3Result) -> str:
+    """Table III layout: orders of magnitude for MM and MI."""
+    benchmarks = list(result.rows)
+    lines = [
+        "Table III — overhead decomposition (µs, orders of magnitude)",
+        _rule(86),
+        "  "
+        + f"{'Configuration':<24}"
+        + "".join(f"{b + ' MM':>12}{b + ' MI':>12}" for b in benchmarks),
+    ]
+    labels = list(next(iter(result.rows.values())))
+    for label in labels:
+        cells = ""
+        for b in benchmarks:
+            row = result.rows[b][label]
+            cells += f"{row.mm_magnitude:>12}{row.mi_magnitude:>12}"
+        lines.append(f"  {label:<24}{cells}")
+    return "\n".join(lines)

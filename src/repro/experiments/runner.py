@@ -1,0 +1,118 @@
+"""Experiment execution: repetitions, medians, CoV — the paper's method.
+
+§V: SPECaccel experiments run 8 times, QMCPack 4 times; "the median value
+is used to compute ratios and we report the Coefficient of Variation".
+:func:`ratio_experiment` reproduces exactly that protocol: N noisy,
+independently-seeded simulations per configuration, medians ratioed
+against the Copy baseline, CoV per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.config import RuntimeConfig
+from ..core.params import CostModel
+from ..core.system import ApuSystem
+from ..omp.runtime import OpenMPRuntime, RunResult
+from ..trace.stats import RepetitionStats
+from ..workloads.base import Workload
+
+__all__ = ["execute", "ratio_experiment", "RatioResult", "WorkloadFactory"]
+
+#: builds a *fresh* workload instance for every run (simulated state,
+#: payload arrays and outputs must not leak between repetitions)
+WorkloadFactory = Callable[[], Workload]
+
+
+def execute(
+    workload: Workload,
+    config: RuntimeConfig,
+    *,
+    cost: Optional[CostModel] = None,
+    seed: int = 0,
+    noise: bool = False,
+    kernel_trace: bool = False,
+    detailed_trace: bool = False,
+) -> RunResult:
+    """Run one workload under one configuration on a fresh system."""
+    c = cost or CostModel()
+    if noise:
+        c = c.with_noise()
+    system = ApuSystem(cost=c, seed=seed, detailed_trace=detailed_trace)
+    runtime = OpenMPRuntime(system, config, kernel_trace=kernel_trace)
+    prepare = getattr(workload, "prepare", None)
+    if prepare is not None:
+        prepare(runtime)
+    return runtime.run(
+        workload.make_body(),
+        n_threads=workload.n_threads,
+        outputs=workload.outputs.values,
+    )
+
+
+@dataclass
+class RatioResult:
+    """Outcome of one ratio experiment (one workload, all configurations)."""
+
+    workload_name: str
+    metric: str
+    baseline: RuntimeConfig
+    times: Dict[RuntimeConfig, RepetitionStats] = field(default_factory=dict)
+
+    def ratio(self, config: RuntimeConfig) -> float:
+        """median(baseline) / median(config) — >1 means ``config`` wins."""
+        return self.times[self.baseline].ratio_of_medians(self.times[config])
+
+    def cov(self, config: RuntimeConfig) -> float:
+        return self.times[config].cov
+
+    def ratios(self) -> Dict[RuntimeConfig, float]:
+        return {
+            cfg: self.ratio(cfg) for cfg in self.times if cfg is not self.baseline
+        }
+
+    def summary(self) -> Dict[str, float]:
+        out = {}
+        for cfg, stats in self.times.items():
+            out[f"{cfg.value}_median_us"] = stats.median
+            out[f"{cfg.value}_cov"] = stats.cov
+            if cfg is not self.baseline:
+                out[f"{cfg.value}_ratio"] = self.ratio(cfg)
+        return out
+
+
+def ratio_experiment(
+    factory: WorkloadFactory,
+    configs: Sequence[RuntimeConfig],
+    *,
+    baseline: RuntimeConfig = RuntimeConfig.COPY,
+    metric: str = "steady_us",
+    reps: int = 4,
+    noise: bool = True,
+    cost: Optional[CostModel] = None,
+    seed0: int = 1000,
+) -> RatioResult:
+    """The paper's measurement protocol for one workload.
+
+    ``metric`` selects :attr:`RunResult.steady_us` (QMCPack figures, which
+    report steady-state computation ratios) or :attr:`RunResult.elapsed_us`
+    (SPECaccel, where start-up effects are part of the story).
+    """
+    if baseline not in configs:
+        configs = [baseline] + [c for c in configs if c is not baseline]
+    first = factory()
+    result = RatioResult(
+        workload_name=first.name, metric=metric, baseline=baseline
+    )
+    for config in configs:
+        values = []
+        for rep in range(reps):
+            workload = factory()
+            run = execute(
+                workload, config, cost=cost, seed=seed0 + rep, noise=noise
+            )
+            values.append(getattr(run, metric))
+        result.times[config] = RepetitionStats.from_values(values)
+    return result

@@ -1,0 +1,7 @@
+"""HSA/ROCr runtime model: pools, signals, SDMA copies, kernel dispatch."""
+
+from .api import HsaRuntime, KernelRecord
+from .memory_pool import MemoryPool
+from .signals import Signal
+
+__all__ = ["HsaRuntime", "KernelRecord", "MemoryPool", "Signal"]

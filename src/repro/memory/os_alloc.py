@@ -1,0 +1,129 @@
+"""OS-side virtual memory allocator (the malloc/mmap model).
+
+Host allocations in the paper come from ordinary OS allocators; what
+matters for the zero-copy study is *which pages exist where*:
+
+* Allocation populates the **CPU page table** immediately (the benchmarks
+  initialize their data host-side or via I/O before offloading, so host
+  lazy-fault timing is never on the critical path; we charge a small
+  per-page populate cost).
+* Freeing returns a large block to the OS — glibc ``munmap``\\ s big
+  allocations — so the virtual range is *retired*, its physical frames are
+  released, and any GPU page-table entries are shot down.  Fresh
+  allocations get fresh virtual addresses.  This is precisely the
+  mechanism that makes 452.ep re-fault on the GPU after every
+  allocate/initialize cycle and makes the spC/bt per-invocation stack
+  arrays re-fault on every host function call (§V.B).
+
+Two regions exist: a heap (malloc/mmap) and a stack region (per-invocation
+automatic arrays).  Both are monotonic bump allocators over page-aligned
+ranges; determinism and the retire-on-free semantics above are the point,
+not fragmentation realism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .layout import (
+    HOST_HEAP_BASE,
+    HOST_STACK_BASE,
+    AddressRange,
+    align_up,
+)
+from .pagetable import MapOrigin, PageTable
+from .physical import PhysicalMemory
+
+__all__ = ["OsAllocator", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised for invalid alloc/free sequences."""
+
+
+class OsAllocator:
+    """Virtual allocator backed by :class:`PhysicalMemory` + the CPU
+    page table.
+
+    ``on_unmap`` is invoked with each freed range *before* frames are
+    released — the driver hooks this to shoot down GPU page-table entries
+    (a real ``mmu_notifier``).
+    """
+
+    def __init__(
+        self,
+        physical: PhysicalMemory,
+        cpu_pagetable: PageTable,
+        on_unmap: Optional[Callable[[AddressRange], None]] = None,
+        heap_base: int = HOST_HEAP_BASE,
+        stack_base: int = HOST_STACK_BASE,
+    ):
+        self.physical = physical
+        self.cpu_pt = cpu_pagetable
+        self.page_size = cpu_pagetable.page_size
+        self.on_unmap = on_unmap
+        self._heap_cursor = heap_base
+        self._stack_cursor = stack_base
+        self._live: Dict[int, AddressRange] = {}
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, nbytes: int, region: str = "heap") -> AddressRange:
+        """Allocate a page-aligned virtual range and populate the CPU PT.
+
+        ``region`` is ``"heap"`` (malloc/mmap) or ``"stack"`` (automatic
+        per-invocation arrays).  Returns the new range.
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"allocation size must be positive, got {nbytes}")
+        size = align_up(nbytes, self.page_size)
+        if region == "heap":
+            start = self._heap_cursor
+            self._heap_cursor += size
+        elif region == "stack":
+            start = self._stack_cursor
+            self._stack_cursor += size
+        else:
+            raise AllocationError(f"unknown region {region!r}")
+        rng = AddressRange(start, nbytes)
+        for page in rng.pages(self.page_size):
+            frame = self.physical.alloc_frame()
+            self.cpu_pt.install(page, frame, MapOrigin.OS_TOUCH)
+        self._live[start] = rng
+        self.alloc_count += 1
+        return rng
+
+    def free(self, rng: AddressRange) -> None:
+        """Release a range: GPU shootdown hook, CPU PT eviction, frame free.
+
+        The virtual addresses are retired, never reused.
+        """
+        live = self._live.pop(rng.start, None)
+        if live is None or live.nbytes != rng.nbytes:
+            raise AllocationError(f"free of unknown or mismatched range {rng}")
+        if self.on_unmap is not None:
+            self.on_unmap(rng)
+        frames = []
+        for page in rng.pages(self.page_size):
+            pte = self.cpu_pt.evict(page)
+            frames.append(pte.frame)
+        self.physical.free_frames(frames)
+        self.free_count += 1
+
+    # -- queries -----------------------------------------------------------
+    def is_live(self, rng: AddressRange) -> bool:
+        live = self._live.get(rng.start)
+        return live is not None and live.nbytes == rng.nbytes
+
+    def live_ranges(self) -> List[AddressRange]:
+        return list(self._live.values())
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(r.nbytes for r in self._live.values())
+
+    def populate_cost_pages(self, nbytes: int) -> int:
+        """Number of pages an allocation of ``nbytes`` populates (for the
+        host-side populate latency charge)."""
+        return AddressRange(0, nbytes).n_pages(self.page_size) if nbytes else 0

@@ -1,0 +1,136 @@
+"""Page tables for the CPU (OS) and GPU address-translation domains.
+
+The paper's central mechanism (§III.B) is the asymmetry between the two
+tables:
+
+* the **CPU page table** is populated by the OS on host first-touch (or at
+  allocation time in our model, since host-side lazy faulting is not a
+  factor in any experiment);
+* the **GPU page table** starts empty for OS-allocated memory.  Entries
+  arrive either page-by-page via the XNACK-replay protocol while a kernel
+  runs, in bulk when ROCr allocates "device" memory with XNACK disabled,
+  or ahead of time via the Eager-Maps prefault syscall.
+
+The table is a flat dict keyed by page base address.  PTEs record which
+mechanism installed them so traces can attribute MI (memory initialization)
+cost to the right configuration behaviour (Table III).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .layout import AddressRange
+
+__all__ = ["PageTable", "Pte", "MapOrigin"]
+
+
+class MapOrigin(enum.Enum):
+    """How a PTE got into a page table."""
+
+    OS_TOUCH = "os_touch"          # CPU-side fault / allocation-time populate
+    XNACK_REPLAY = "xnack_replay"  # GPU-side fault while a kernel runs
+    BULK_ALLOC = "bulk_alloc"      # driver bulk map at ROCr pool allocation
+    PREFAULT = "prefault"          # Eager-Maps svm_attributes_set syscall
+
+
+@dataclass
+class Pte:
+    """Page table entry: physical frame plus provenance."""
+
+    frame: int
+    origin: MapOrigin
+
+
+class PageTable:
+    """Single-level page table over huge (or base) pages.
+
+    ``page_size`` is fixed per table instance; with THP on (the paper's
+    setting) both CPU and GPU tables use 2 MiB pages.
+    """
+
+    def __init__(self, page_size: int, name: str = ""):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        self.page_size = page_size
+        self.name = name or "pagetable"
+        self._entries: Dict[int, Pte] = {}
+        # counters for trace/analysis
+        self.install_count = 0
+        self.evict_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+    # -- queries ---------------------------------------------------------
+    def lookup(self, page: int) -> Optional[Pte]:
+        return self._entries.get(page)
+
+    def present(self, page: int) -> bool:
+        return page in self._entries
+
+    def missing_pages(self, rng: AddressRange) -> List[int]:
+        """Pages of ``rng`` with no translation in this table."""
+        return [p for p in rng.pages(self.page_size) if p not in self._entries]
+
+    def present_pages(self, rng: AddressRange) -> List[int]:
+        return [p for p in rng.pages(self.page_size) if p in self._entries]
+
+    def coverage(self, rng: AddressRange) -> Tuple[int, int]:
+        """(present, missing) page counts over the range."""
+        present = missing = 0
+        for p in rng.pages(self.page_size):
+            if p in self._entries:
+                present += 1
+            else:
+                missing += 1
+        return present, missing
+
+    # -- mutation -----------------------------------------------------------
+    def install(self, page: int, frame: int, origin: MapOrigin) -> None:
+        """Install a translation.  Installing over an existing entry is an
+        error — every code path in the stack checks presence first, and a
+        silent overwrite would hide accounting bugs."""
+        if page % self.page_size:
+            raise ValueError(f"page 0x{page:x} not aligned to {self.page_size}")
+        if page in self._entries:
+            raise KeyError(f"page 0x{page:x} already mapped in {self.name}")
+        self._entries[page] = Pte(frame, origin)
+        self.install_count += 1
+
+    def evict(self, page: int) -> Pte:
+        """Remove and return a translation (TLB shootdown / unmap)."""
+        try:
+            pte = self._entries.pop(page)
+        except KeyError:
+            raise KeyError(f"page 0x{page:x} not mapped in {self.name}") from None
+        self.evict_count += 1
+        return pte
+
+    def evict_range(self, rng: AddressRange) -> List[Pte]:
+        out = []
+        for p in rng.pages(self.page_size):
+            if p in self._entries:
+                out.append(self.evict(p))
+        return out
+
+    def frames_for(self, rng: AddressRange) -> List[int]:
+        return [
+            self._entries[p].frame
+            for p in rng.pages(self.page_size)
+            if p in self._entries
+        ]
+
+    def origins_histogram(self) -> Dict[MapOrigin, int]:
+        hist: Dict[MapOrigin, int] = {}
+        for pte in self._entries.values():
+            hist[pte.origin] = hist.get(pte.origin, 0) + 1
+        return hist
+
+    def pages(self) -> Iterable[int]:
+        return self._entries.keys()

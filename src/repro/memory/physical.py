@@ -1,0 +1,103 @@
+"""Physical HBM model: a frame allocator over the unified store.
+
+On MI300A all eight HBM stacks form one logical memory visible to both the
+CPU cores and the XCDs (paper Fig. 1).  We model it as a pool of physical
+*frames* at huge-page granularity.  The interesting outputs are footprint
+accounting: the Legacy Copy configuration allocates device-side frames for
+memory that already exists host-side, and the resulting duplication (paper
+§III.B: "effectively results in unnecessary memory duplication") is
+directly observable via :attr:`PhysicalMemory.bytes_in_use` /
+:attr:`peak_bytes`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layout import GIB
+
+__all__ = ["PhysicalMemory", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when the HBM store cannot satisfy a frame allocation."""
+
+
+class PhysicalMemory:
+    """Frame allocator over a fixed-size physical store.
+
+    Frames are identified by integer frame numbers; a free-list recycles
+    released frames so long-running simulations do not leak identifiers.
+    Frame *contents* are not stored here — functional data lives in numpy
+    payloads on buffers — so the allocator is O(1) per operation.
+    """
+
+    def __init__(self, total_bytes: int = 128 * GIB, frame_bytes: int = 2 * 1024 * 1024):
+        if total_bytes <= 0 or frame_bytes <= 0 or total_bytes % frame_bytes:
+            raise ValueError("total_bytes must be a positive multiple of frame_bytes")
+        self.total_bytes = total_bytes
+        self.frame_bytes = frame_bytes
+        self.total_frames = total_bytes // frame_bytes
+        self._next_fresh = 0
+        self._free: List[int] = []
+        self._in_use = 0
+        self.peak_frames = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def frames_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._in_use * self.frame_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak_frames * self.frame_bytes
+
+    @property
+    def frames_free(self) -> int:
+        return self.total_frames - self._in_use
+
+    # -- allocation ------------------------------------------------------------
+    def alloc_frame(self) -> int:
+        """Allocate one frame; returns its frame number."""
+        if self._in_use >= self.total_frames:
+            raise OutOfMemoryError(
+                f"HBM exhausted: {self.total_frames} frames of {self.frame_bytes}B in use"
+            )
+        if self._free:
+            frame = self._free.pop()
+        else:
+            frame = self._next_fresh
+            self._next_fresh += 1
+        self._in_use += 1
+        self.alloc_count += 1
+        if self._in_use > self.peak_frames:
+            self.peak_frames = self._in_use
+        return frame
+
+    def alloc_frames(self, count: int) -> List[int]:
+        if count < 0:
+            raise ValueError(f"negative frame count: {count}")
+        if self._in_use + count > self.total_frames:
+            raise OutOfMemoryError(
+                f"HBM exhausted: need {count} frames, only {self.frames_free} free"
+            )
+        return [self.alloc_frame() for _ in range(count)]
+
+    def free_frame(self, frame: int) -> None:
+        if frame < 0 or frame >= self._next_fresh:
+            raise ValueError(f"unknown frame {frame}")
+        self._in_use -= 1
+        self.free_count += 1
+        if self._in_use < 0:
+            raise RuntimeError("double free detected: negative frame occupancy")
+        self._free.append(frame)
+
+    def free_frames(self, frames: List[int]) -> None:
+        for f in frames:
+            self.free_frame(f)

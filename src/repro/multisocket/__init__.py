@@ -1,0 +1,5 @@
+"""Multi-socket APU card composition (paper §III.A)."""
+
+from .card import ApuCard, CardResult, SocketSystem, frame_owner
+
+__all__ = ["ApuCard", "CardResult", "SocketSystem", "frame_owner"]

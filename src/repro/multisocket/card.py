@@ -1,0 +1,231 @@
+"""Multi-socket APU card model (paper §III.A).
+
+"APU sockets can be composed together in a multi-socket accelerator card,
+where either CPU or GPU threads on a socket can access memory located in
+a different socket.  GPUs in different sockets are seen by OpenMP as
+multiple devices."  The paper's experiments are single-socket; this
+module implements the composition it describes, so the two programming
+patterns of §III.A can be studied:
+
+* one OpenMP program with careful CPU/GPU affinity (a CPU thread on a
+  socket offloads to that socket's GPU), or
+* sloppy affinity, where kernels read remote-socket HBM and pay a NUMA
+  penalty.
+
+Model: one shared process address space (one CPU page table, one
+simulation clock), per-socket HBM frame pools with first-touch NUMA
+placement, and one GPU device (page table, driver, HSA runtime, OpenMP
+runtime) per socket.  A kernel's compute time is scaled by the fraction
+of its mapped pages whose frames live on a remote socket
+(``remote_access_penalty``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import RuntimeConfig
+from ..core.params import CostModel
+from ..driver.kfd import Kfd
+from ..hsa.api import HsaRuntime
+from ..memory.layout import HOST_HEAP_BASE, HOST_STACK_BASE, AddressRange
+from ..memory.os_alloc import OsAllocator
+from ..memory.pagetable import PageTable
+from ..memory.physical import PhysicalMemory
+from ..omp.api import OmpThread
+from ..omp.mapping import MapClause
+from ..omp.runtime import OpenMPRuntime
+from ..sim import Environment, RngHub
+from ..trace.hsa_trace import HsaTrace
+
+__all__ = ["ApuCard", "SocketSystem", "CardResult"]
+
+#: VA window stride between sockets' OS allocators (they share one
+#: process address space but carve disjoint arenas, like NUMA-aware
+#: allocators do)
+_VA_STRIDE = 1 << 42
+
+#: frame-id stride marking socket ownership
+_FRAME_STRIDE = 1 << 30
+
+
+class _SocketMemory(PhysicalMemory):
+    """Per-socket HBM pool issuing globally-unique, owner-tagged frames."""
+
+    def __init__(self, socket: int, total_bytes: int, frame_bytes: int):
+        super().__init__(total_bytes=total_bytes, frame_bytes=frame_bytes)
+        self.socket = socket
+        self._tag = socket * _FRAME_STRIDE
+
+    def alloc_frame(self) -> int:
+        return super().alloc_frame() + self._tag
+
+    def free_frame(self, frame: int) -> None:
+        super().free_frame(frame - self._tag)
+
+
+def frame_owner(frame: int) -> int:
+    """Which socket's HBM a frame belongs to."""
+    return frame // _FRAME_STRIDE
+
+
+@dataclass
+class SocketSystem:
+    """ApuSystem-shaped view of one socket (duck-typed for OpenMPRuntime)."""
+
+    env: Environment
+    cost: CostModel
+    rng_hub: RngHub
+    physical: _SocketMemory
+    cpu_pt: PageTable
+    gpu_pt: PageTable
+    driver: Kfd
+    os_alloc: OsAllocator
+    hsa_trace: HsaTrace
+    hsa: HsaRuntime
+
+
+@dataclass
+class CardResult:
+    """Outcome of one multi-socket run."""
+
+    n_sockets: int
+    config: RuntimeConfig
+    elapsed_us: float
+    per_socket_traces: List[HsaTrace]
+    per_socket_kernels: List[int]
+    remote_page_fraction: float  #: mean over kernel launches
+
+    def merged_trace(self) -> HsaTrace:
+        out = HsaTrace()
+        for tr in self.per_socket_traces:
+            out = out.merge(tr)
+        return out
+
+
+class ApuCard:
+    """An ``n_sockets``-socket MI300A card in one shared address space."""
+
+    def __init__(
+        self,
+        n_sockets: int = 2,
+        cost: Optional[CostModel] = None,
+        seed: int = 0,
+        hbm_per_socket: Optional[int] = None,
+        remote_access_penalty: float = 0.45,
+    ):
+        if n_sockets < 1:
+            raise ValueError(f"n_sockets must be >= 1, got {n_sockets}")
+        self.cost = cost or CostModel()
+        self.n_sockets = n_sockets
+        self.remote_access_penalty = remote_access_penalty
+        self.env = Environment()
+        self.rng_hub = RngHub(seed)
+        # one process: one CPU page table shared by every socket's cores
+        self.cpu_pt = PageTable(self.cost.page_size, "cpu-pt")
+        hbm = hbm_per_socket or self.cost.hbm_bytes
+        self.sockets: List[SocketSystem] = []
+        for s in range(n_sockets):
+            physical = _SocketMemory(s, hbm, self.cost.page_size)
+            gpu_pt = PageTable(self.cost.page_size, f"gpu-pt[{s}]")
+            driver = Kfd(self.cost, physical, self.cpu_pt, gpu_pt)
+            os_alloc = OsAllocator(
+                physical,
+                self.cpu_pt,
+                on_unmap=self._shootdown_all,
+                heap_base=HOST_HEAP_BASE + s * _VA_STRIDE,
+                stack_base=HOST_STACK_BASE + s * _VA_STRIDE,
+            )
+            trace = HsaTrace()
+            hsa = HsaRuntime(
+                self.env, self.cost, driver, trace, self.rng_hub.fork("socket", s)
+            )
+            self.sockets.append(
+                SocketSystem(
+                    env=self.env, cost=self.cost, rng_hub=self.rng_hub,
+                    physical=physical, cpu_pt=self.cpu_pt, gpu_pt=gpu_pt,
+                    driver=driver, os_alloc=os_alloc, hsa_trace=trace, hsa=hsa,
+                )
+            )
+        self._runtimes: List[OpenMPRuntime] = []
+        self._remote_samples: List[float] = []
+
+    def _shootdown_all(self, rng: AddressRange) -> None:
+        """Host unmap invalidates every socket's GPU translations."""
+        for sock in self.sockets:
+            sock.driver.mmu_unmap(rng)
+
+    # ------------------------------------------------------------------
+    def _make_adjuster(self, socket: int) -> Callable:
+        def adjust(maps: Sequence[MapClause], compute_us: float) -> float:
+            remote = local = 0
+            for clause in maps:
+                for page in clause.buffer.range.pages(self.cost.page_size):
+                    pte = self.cpu_pt.lookup(page)
+                    if pte is None:
+                        continue
+                    if frame_owner(pte.frame) == socket:
+                        local += 1
+                    else:
+                        remote += 1
+            total = remote + local
+            if total == 0:
+                return compute_us
+            frac = remote / total
+            self._remote_samples.append(frac)
+            return compute_us * (1.0 + self.remote_access_penalty * frac)
+
+        return adjust
+
+    def run(
+        self,
+        thread_plan: Sequence[Tuple[int, Callable]],
+        config: RuntimeConfig = RuntimeConfig.IMPLICIT_ZERO_COPY,
+    ) -> CardResult:
+        """Run ``(socket, body)`` pairs: each body is an OpenMP host
+        thread pinned to a socket, offloading to that socket's GPU."""
+        for socket, _ in thread_plan:
+            if not 0 <= socket < self.n_sockets:
+                raise ValueError(f"no socket {socket} on a {self.n_sockets}-socket card")
+        self._runtimes = [
+            OpenMPRuntime(sock, config) for sock in self.sockets
+        ]
+        for s, rt in enumerate(self._runtimes):
+            rt.kernel_cost_adjuster = self._make_adjuster(s)
+        env = self.env
+        t0 = env.now
+        threads_per_socket: Dict[int, int] = {}
+        for socket, _ in thread_plan:
+            threads_per_socket[socket] = threads_per_socket.get(socket, 0) + 1
+
+        def _main():
+            # sockets boot their devices concurrently
+            def _boot(s, rt):
+                yield from rt._init_device()
+                for _ in range(threads_per_socket.get(s, 0)):
+                    yield from rt._init_thread_resources()
+
+            boots = [
+                env.process(_boot(s, rt), name=f"boot-socket{s}")
+                for s, rt in enumerate(self._runtimes)
+            ]
+            for b in boots:
+                yield b
+            procs = []
+            for tid, (socket, body) in enumerate(thread_plan):
+                th = OmpThread(self._runtimes[socket], tid)
+                procs.append(env.process(body(th, tid), name=f"sock{socket}-t{tid}"))
+            for p in procs:
+                yield p
+
+        env.run(env.process(_main(), name="card-main"))
+        samples = self._remote_samples
+        return CardResult(
+            n_sockets=self.n_sockets,
+            config=config,
+            elapsed_us=env.now - t0,
+            per_socket_traces=[s.hsa_trace for s in self.sockets],
+            per_socket_kernels=[rt.ledger.n_kernels for rt in self._runtimes],
+            remote_page_fraction=(sum(samples) / len(samples)) if samples else 0.0,
+        )

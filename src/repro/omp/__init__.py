@@ -1,0 +1,20 @@
+"""OpenMP offloading runtime model (libomptarget) and user-facing API."""
+
+from .api import AsyncTarget, OmpThread
+from .globals_ import GlobalRegistry, GlobalVar
+from .mapping import MapClause, MapKind, MappingError, PresentEntry, PresentTable
+from .runtime import OpenMPRuntime, RunResult
+
+__all__ = [
+    "AsyncTarget",
+    "GlobalRegistry",
+    "GlobalVar",
+    "MapClause",
+    "MapKind",
+    "MappingError",
+    "OmpThread",
+    "OpenMPRuntime",
+    "PresentEntry",
+    "PresentTable",
+    "RunResult",
+]

@@ -1,0 +1,194 @@
+"""Per-thread user-facing OpenMP offloading API.
+
+Workloads are written against :class:`OmpThread`, whose methods mirror
+the OpenMP constructs the paper's applications use::
+
+    def body(th, tid):
+        a = yield from th.alloc("a", 64 * MIB)
+        yield from th.target_enter_data([MapClause(a, MapKind.TO)])
+        rec = yield from th.target(
+            "axpy", compute_us=500.0,
+            maps=[MapClause(a, MapKind.ALLOC)],
+            fn=lambda args, g: args["a"].__imul__(2.0),
+        )
+        yield from th.target_exit_data([MapClause(a, MapKind.FROM)])
+
+Every method is a generator (it consumes simulated time) driven with
+``yield from`` inside the thread body.  The *same* workload body runs
+unmodified under all four runtime configurations; which storage
+operations actually happen is the policy's business — that inversion is
+exactly the paper's point about OpenMP data environments being an
+abstraction over physical storage (§III.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import RuntimeConfig
+from ..hsa.api import KernelRecord
+from ..hsa.signals import Signal
+from ..memory.buffers import HostBuffer
+from ..omp.globals_ import GlobalVar
+from ..omp.mapping import MapClause, MappingError
+from .runtime import OpenMPRuntime
+
+__all__ = ["OmpThread", "AsyncTarget", "KernelFn"]
+
+#: Functional kernel signature: (mapped arrays by name, globals by name).
+KernelFn = Callable[[Dict[str, np.ndarray], Dict[str, np.ndarray]], None]
+
+
+@dataclass
+class AsyncTarget:
+    """Handle for a ``nowait`` target region (completed via
+    :meth:`OmpThread.wait`)."""
+
+    signal: Signal
+    maps: Tuple[MapClause, ...]
+
+
+class OmpThread:
+    """One OpenMP host thread offloading to the device."""
+
+    def __init__(self, runtime: OpenMPRuntime, tid: int):
+        self.rt = runtime
+        self.env = runtime.env
+        self.tid = tid
+        self._policy = runtime.policy
+        self._cost = runtime.cost
+
+    # ------------------------------------------------------------------
+    # host memory
+    # ------------------------------------------------------------------
+    def alloc(
+        self,
+        name: str,
+        nbytes: int,
+        payload: Optional[np.ndarray] = None,
+        region: str = "heap",
+    ):
+        """(generator) Host allocation (malloc/mmap or stack array).
+
+        Charges the OS populate cost; the CPU page table is filled
+        immediately (host-side initialization is never the bottleneck in
+        the paper's experiments).
+        """
+        osalloc = self.rt.system.os_alloc
+        rng = osalloc.alloc(nbytes, region=region)
+        pages = osalloc.populate_cost_pages(nbytes)
+        yield self.env.timeout(pages * self._cost.os_populate_page_us)
+        return HostBuffer(name, rng, payload=payload, region=region)
+
+    def free(self, buf: HostBuffer):
+        """(generator) Release host memory.
+
+        Freeing a buffer that is still mapped is a user error the real
+        runtime cannot diagnose; we can, so we do.
+        """
+        if self.rt.table.is_present(buf):
+            raise MappingError(f"freeing host buffer {buf.name!r} while still mapped")
+        buf.check_alive()
+        self.rt.system.os_alloc.free(buf.range)
+        buf.freed = True
+        yield self.env.timeout(self._cost.syscall_base_us)
+
+    # ------------------------------------------------------------------
+    # data environment
+    # ------------------------------------------------------------------
+    def target_enter_data(self, maps: Sequence[MapClause]):
+        """(generator) ``#pragma omp target enter data map(...)``."""
+        sigs = yield from self._policy.map_enter_all(maps)
+        if sigs:
+            t0 = self.env.now
+            yield from self.rt.hsa.signal_wait_scacquire_all(sigs)
+            self.rt.ledger.wait_us += self.env.now - t0
+
+    def target_exit_data(self, maps: Sequence[MapClause]):
+        """(generator) ``#pragma omp target exit data map(...)``."""
+        yield from self._policy.map_exit_all(maps)
+
+    def update_global(self, glob: GlobalVar):
+        """(generator) ``map(always, to: g)`` / ``target update to(g)``."""
+        yield from self._policy.global_update(glob)
+
+    def target_update(self, to=(), from_=()):
+        """(generator) ``#pragma omp target update to(...) from(...)``.
+
+        Motion clauses refresh *present* mappings without changing
+        reference counts; absent ranges are skipped (OpenMP 5.x).  Under
+        zero-copy configurations there is nothing to move.
+        """
+        for buf in to:
+            yield from self._policy.motion_update(buf, to_device=True)
+        for buf in from_:
+            yield from self._policy.motion_update(buf, to_device=False)
+
+    # ------------------------------------------------------------------
+    # target regions
+    # ------------------------------------------------------------------
+    def target(
+        self,
+        name: str,
+        compute_us: float,
+        maps: Sequence[MapClause] = (),
+        fn: Optional[KernelFn] = None,
+        globals_used: Sequence[GlobalVar] = (),
+        nowait: bool = False,
+    ):
+        """(generator) ``#pragma omp target teams ...`` region.
+
+        Performs the implicit map-enter, launches the kernel (with XNACK
+        fault charging under the zero-copy configurations), waits for
+        completion and performs the implicit map-exit.  With ``nowait``
+        the handle is returned immediately and :meth:`wait` finishes the
+        region.  Returns the kernel's :class:`KernelRecord`.
+        """
+        maps = tuple(maps)
+        sigs = yield from self._policy.map_enter_all(maps)
+        if sigs:
+            t0 = self.env.now
+            yield from self.rt.hsa.signal_wait_scacquire_all(sigs)
+            self.rt.ledger.wait_us += self.env.now - t0
+        args, fault_ranges = self._policy.resolve_kernel_args(maps)
+        if self.rt.kernel_cost_adjuster is not None:
+            compute_us = self.rt.kernel_cost_adjuster(maps, compute_us)
+        gviews = {g.name: self._policy.resolve_global(g) for g in globals_used}
+        if self.rt.config is RuntimeConfig.UNIFIED_SHARED_MEMORY and globals_used:
+            # double-indirection tax + the host global's page is GPU-touched
+            compute_us = compute_us + len(gviews) * self._cost.usm_indirection_us
+            fault_ranges = list(fault_ranges) + [g.range for g in globals_used]
+        body = None
+        if fn is not None:
+            body = lambda: fn(args, gviews)  # noqa: E731
+        sig = self.rt.hsa.dispatch_kernel(
+            name,
+            compute_us,
+            fn=body,
+            fault_ranges=fault_ranges if self.rt.config.is_zero_copy else [],
+            on_complete=self.rt._on_kernel_complete,
+        )
+        handle = AsyncTarget(sig, maps)
+        if nowait:
+            return handle
+        rec = yield from self.wait(handle)
+        return rec
+
+    def wait(self, handle: AsyncTarget):
+        """(generator) Complete a target region: kernel wait + map-exit."""
+        t0 = self.env.now
+        yield from self.rt.hsa.signal_wait_scacquire(handle.signal)
+        self.rt.ledger.wait_us += self.env.now - t0
+        yield from self._policy.map_exit_all(handle.maps)
+        rec: KernelRecord = handle.signal.value
+        return rec
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def mark(self, name: str, first: bool = True) -> None:
+        """Record a phase mark (aggregated across threads)."""
+        self.rt.mark(name, first=first)

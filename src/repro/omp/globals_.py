@@ -1,0 +1,101 @@
+"""Declare-target global variables and their per-configuration handling.
+
+§IV.B/IV.C devote substantial attention to globals because they are the
+one place Unified Shared Memory and Implicit Zero-Copy genuinely differ:
+
+* compiled **with** ``requires unified_shared_memory``, the GPU code
+  object holds a *pointer* to the host global, initialized at load time;
+  kernels pay a double indirection on every access and mapping a global
+  moves no data (the host copy *is* the data).
+* compiled **without** it (Copy, Implicit Z-C, Eager Maps), CPU and GPU
+  each own a copy of the global; ``map(always, to: g)`` and
+  ``target update`` issue transfers to keep them consistent.  Implicit
+  Zero-Copy "switches handling of globals as if operating in Copy mode"
+  with system-scope memory transfers.
+
+QMCPack uses no declare-target globals — which the paper uses to explain
+why USM and Implicit Z-C produce identical results there — but our
+microbenchmarks (``repro.workloads.micro``) exercise the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..memory.layout import AddressRange
+
+__all__ = ["GlobalVar", "GlobalRegistry"]
+
+
+class GlobalVar:
+    """One ``#pragma omp declare target`` global.
+
+    ``host_payload`` is the authoritative host-side storage.
+    ``device_payload`` exists only for configurations that keep a separate
+    GPU copy; under USM it is ``None`` and kernels read through the host
+    payload (the double indirection the compiler emits).
+    """
+
+    __slots__ = ("name", "host_payload", "device_payload", "range", "usm_pointer")
+
+    def __init__(self, name: str, value: np.ndarray, rng: AddressRange):
+        self.name = name
+        self.host_payload = value
+        self.device_payload: Optional[np.ndarray] = None
+        self.range = rng
+        self.usm_pointer = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.range.nbytes
+
+    def materialize_device_copy(self) -> None:
+        """Create the per-device copy (non-USM compilation)."""
+        self.device_payload = np.zeros_like(self.host_payload)
+        self.usm_pointer = False
+
+    def materialize_usm_pointer(self) -> None:
+        """USM compilation: device code holds a pointer to the host global
+        (assigned at initialization time, §IV.B)."""
+        self.device_payload = None
+        self.usm_pointer = True
+
+    def device_view(self) -> np.ndarray:
+        """The array a GPU kernel sees for this global."""
+        if self.usm_pointer:
+            return self.host_payload
+        if self.device_payload is None:
+            raise RuntimeError(
+                f"global {self.name!r} accessed on device before device image init"
+            )
+        return self.device_payload
+
+    def __repr__(self) -> str:  # pragma: no cover
+        mode = "usm-pointer" if self.usm_pointer else "device-copy"
+        return f"<GlobalVar {self.name!r} {self.nbytes}B {mode}>"
+
+
+class GlobalRegistry:
+    """All declare-target globals of a program image."""
+
+    def __init__(self):
+        self._globals: Dict[str, GlobalVar] = {}
+
+    def register(self, glob: GlobalVar) -> None:
+        if glob.name in self._globals:
+            raise ValueError(f"duplicate declare-target global {glob.name!r}")
+        self._globals[glob.name] = glob
+
+    def get(self, name: str) -> GlobalVar:
+        try:
+            return self._globals[name]
+        except KeyError:
+            raise KeyError(f"unknown declare-target global {name!r}") from None
+
+    def all(self):
+        return list(self._globals.values())
+
+    def __len__(self) -> int:
+        return len(self._globals)

@@ -1,0 +1,144 @@
+"""OpenMP data-environment mapping: map kinds and the present table.
+
+OpenMP's ``map`` clauses manipulate a per-device *present table* with
+reference counting (the libomptarget ``DeviceTy::HostDataToTargetMap``):
+
+* mapping an absent range creates an entry (and, in Copy mode, a shadow
+  device allocation) with refcount 1;
+* mapping a present range increments the refcount — no storage operation
+  unless the ``always`` modifier forces a transfer;
+* unmapping decrements; the ``from``/``tofrom`` copy-back and the device
+  deallocation happen when the count reaches zero (or unconditionally
+  with ``always`` / ``delete``).
+
+The table itself is policy-agnostic: zero-copy configurations still do
+the full refcount bookkeeping (OpenMP semantics require it for
+``delete``/presence checks); they simply attach no device buffer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..memory.buffers import DeviceBuffer, HostBuffer
+
+__all__ = ["MapKind", "MapClause", "PresentEntry", "PresentTable", "MappingError"]
+
+
+class MappingError(RuntimeError):
+    """Raised on map/unmap sequences that violate OpenMP semantics."""
+
+
+class MapKind(enum.Enum):
+    """OpenMP map types (the subset the paper's benchmarks exercise)."""
+
+    ALLOC = "alloc"    #: presence + refcount only, no transfer
+    TO = "to"          #: host→device on entry
+    FROM = "from"      #: device→host on exit
+    TOFROM = "tofrom"  #: both
+    RELEASE = "release"  #: decrement only, never transfers
+    DELETE = "delete"    #: force refcount to zero, never transfers
+
+    @property
+    def copies_to_device(self) -> bool:
+        return self in (MapKind.TO, MapKind.TOFROM)
+
+    @property
+    def copies_to_host(self) -> bool:
+        return self in (MapKind.FROM, MapKind.TOFROM)
+
+
+@dataclass(frozen=True)
+class MapClause:
+    """One ``map([always,] kind: buffer)`` clause."""
+
+    buffer: HostBuffer
+    kind: MapKind = MapKind.TOFROM
+    always: bool = False
+
+    def __post_init__(self):
+        if self.always and self.kind in (MapKind.ALLOC, MapKind.RELEASE, MapKind.DELETE):
+            raise MappingError(f"'always' modifier is meaningless on map({self.kind.value})")
+
+
+@dataclass
+class PresentEntry:
+    """Present-table entry for one host range."""
+
+    host: HostBuffer
+    device: Optional[DeviceBuffer]  #: shadow allocation (Copy mode only)
+    refcount: int = 0
+
+    @property
+    def key(self) -> int:
+        return self.host.range.start
+
+
+class PresentTable:
+    """Per-device host→target mapping table with refcounts."""
+
+    def __init__(self):
+        self._entries: Dict[int, PresentEntry] = {}
+        self.peak_entries = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, buffer: HostBuffer) -> Optional[PresentEntry]:
+        entry = self._entries.get(buffer.range.start)
+        if entry is not None and entry.host is not buffer:
+            raise MappingError(
+                f"present-table collision at 0x{buffer.range.start:x}: "
+                f"{entry.host.name!r} vs {buffer.name!r}"
+            )
+        return entry
+
+    def is_present(self, buffer: HostBuffer) -> bool:
+        return self.lookup(buffer) is not None
+
+    def insert(self, entry: PresentEntry) -> None:
+        key = entry.key
+        if key in self._entries:
+            raise MappingError(f"duplicate present-table entry at 0x{key:x}")
+        self._entries[key] = entry
+        if len(self._entries) > self.peak_entries:
+            self.peak_entries = len(self._entries)
+
+    def remove(self, entry: PresentEntry) -> None:
+        found = self._entries.pop(entry.key, None)
+        if found is not entry:
+            raise MappingError(f"removing unknown present-table entry {entry.host.name!r}")
+
+    def retain(self, buffer: HostBuffer) -> PresentEntry:
+        """Increment the refcount of an existing entry."""
+        entry = self.lookup(buffer)
+        if entry is None:
+            raise MappingError(f"retain of absent buffer {buffer.name!r}")
+        entry.refcount += 1
+        return entry
+
+    def release(self, buffer: HostBuffer, delete: bool = False) -> PresentEntry:
+        """Decrement (or zero, for ``delete``) the refcount.
+
+        The caller inspects ``entry.refcount`` afterwards to decide on
+        copy-back and deallocation; removal is explicit via
+        :meth:`remove` once storage is torn down.
+        """
+        entry = self.lookup(buffer)
+        if entry is None:
+            raise MappingError(f"unmap of absent buffer {buffer.name!r}")
+        if entry.refcount <= 0:
+            raise MappingError(f"refcount underflow for {buffer.name!r}")
+        if delete:
+            entry.refcount = 0
+        else:
+            entry.refcount -= 1
+        return entry
+
+    def entries(self) -> List[PresentEntry]:
+        return list(self._entries.values())
+
+    def total_refcount(self) -> int:
+        return sum(e.refcount for e in self._entries.values())

@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation engine (simpy-like, from scratch).
+
+Public surface:
+
+* :class:`Environment`, :class:`Event`, :class:`Timeout`, :class:`Process`,
+  :class:`AllOf`, :class:`AnyOf` — the core engine (``repro.sim.core``).
+* :class:`Resource`, :class:`Mutex` — contention primitives
+  (``repro.sim.resources``).
+* :class:`RngHub`, :class:`Jitter` — reproducible noise (``repro.sim.rng``).
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Grant, Mutex, Resource
+from .rng import Jitter, RngHub
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Grant",
+    "Interrupt",
+    "Jitter",
+    "Mutex",
+    "Process",
+    "Resource",
+    "RngHub",
+    "SimulationError",
+    "Timeout",
+]

@@ -1,0 +1,371 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substrate every other subsystem runs on.  It is a compact,
+from-scratch engine in the style of SimPy: an :class:`Environment` owns a
+priority queue of scheduled events, a :class:`Process` wraps a Python
+generator that ``yield``\\ s events, and composite events (:class:`AllOf`,
+:class:`AnyOf`) build barriers.
+
+Design constraints that shaped this module:
+
+* **Determinism.**  Two events scheduled for the same simulated time fire in
+  schedule order (a monotonically increasing sequence number breaks ties).
+  There is no wall-clock anywhere; repeated runs are bit-identical.
+* **Throughput.**  QMCPack full-fidelity runs push a few million events
+  through the queue, so the hot path (schedule/pop/callback) avoids
+  allocation beyond the event objects themselves and uses ``heapq`` on
+  plain tuples.
+* **Debuggability.**  Failures inside a process propagate to whoever waits
+  on it, and unhandled failures abort :meth:`Environment.run` with the
+  original traceback.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. re-triggering an event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+PENDING = 0
+TRIGGERED = 1  # scheduled, sitting in the queue
+PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A single occurrence that processes can wait on.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it: the environment schedules it (optionally after a delay)
+    and, when its time arrives, runs all registered callbacks exactly once.
+    """
+
+    __slots__ = ("env", "callbacks", "_state", "_value", "_ok")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._state = PENDING
+        self._value: Any = None
+        self._ok = True
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded. Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise SimulationError("event value read before it was triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        self._state = TRIGGERED
+        self._value = value
+        self._ok = True
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._state = TRIGGERED
+        self._value = exc
+        self._ok = False
+        self.env._schedule(self, delay)
+        return self
+
+    # -- callback plumbing -------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event fires.
+
+        If the event was already processed the callback runs immediately;
+        this keeps "wait on an already-completed operation" race-free.
+        """
+        if self._state == PROCESSED:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._state = TRIGGERED
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; itself an event that fires when the generator ends.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds, its value is sent back into the generator; when it fails, the
+    exception is thrown into the generator (giving it a chance to handle
+    failure).  The process event's value is the generator's return value.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process expects a generator, got {type(gen)!r}")
+        super().__init__(env)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Bootstrap: start executing at the current time.
+        init = Event(env)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wakeup = Event(self.env)
+        wakeup.fail(Interrupt(cause))
+        wakeup.add_callback(self._resume)
+
+    def _resume(self, trigger: Event) -> None:
+        # Iterative resume loop: if the yielded event is already processed we
+        # feed its value straight back in rather than recursing through
+        # add_callback — a process draining a long list of completed signals
+        # must not grow the Python stack.
+        while True:
+            self._waiting_on = None
+            try:
+                if trigger.ok:
+                    nxt = self._gen.send(trigger.value)
+                else:
+                    nxt = self._gen.throw(trigger._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt as exc:
+                # An unhandled interrupt terminates the process with failure.
+                self.fail(exc)
+                return
+            except BaseException as exc:
+                if self.callbacks or self._anyone_cares():
+                    self.fail(exc)
+                else:
+                    raise
+                return
+            if not isinstance(nxt, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {type(nxt).__name__}, expected Event"
+                )
+            if nxt.env is not self.env:
+                raise SimulationError("yielded event belongs to a different Environment")
+            if nxt._state == PROCESSED:
+                trigger = nxt
+                continue
+            self._waiting_on = nxt
+            nxt.add_callback(self._resume)
+            return
+
+    def _anyone_cares(self) -> bool:
+        return bool(self.callbacks)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, ev: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events if e.processed or e.triggered}
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired; value is {event: value}."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed({e: e._value for e in self.events})
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires; value is that event's."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self.succeed(ev._value)
+
+
+class Environment:
+    """The simulation clock and event queue.
+
+    Time is a float in **microseconds**.  All scheduling goes through
+    :meth:`_schedule`; user code creates events with :meth:`event`,
+    :meth:`timeout` and :meth:`process`.
+    """
+
+    __slots__ = ("now", "_queue", "_seq", "_event_count")
+
+    def __init__(self, initial_time: float = 0.0):
+        self.now: float = float(initial_time)
+        self._queue: List[tuple] = []
+        self._seq = 0
+        self._event_count = 0
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed so far (diagnostics)."""
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        t, _, event = heapq.heappop(self._queue)
+        if t < self.now:
+            raise SimulationError("time went backwards; corrupted queue")
+        self.now = t
+        self._event_count += 1
+        event._process()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until ``until`` fires (an Event), until time ``until`` (a
+        number), or until the queue drains (``None``).
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered or not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        f"event queue drained before {stop!r} fired (deadlock?)"
+                    )
+                self.step()
+            if not stop.ok:
+                raise stop._value
+            return stop._value
+        if until is not None:
+            horizon = float(until)
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self.now = max(self.now, horizon)
+            return None
+        while self._queue:
+            self.step()
+        return None

@@ -1,0 +1,141 @@
+"""Shared-resource primitives for the simulation engine.
+
+Models everything in the stack that serializes concurrent activity:
+
+* :class:`Resource` — a counted resource with FIFO queuing.  Used for GPU
+  compute queues (capacity = number of concurrently running kernels the
+  hardware sustains for our workloads), SDMA copy engines, and the
+  page-fault service unit.
+* :class:`Mutex` — capacity-1 convenience wrapper.  Used for the
+  libomptarget/ROCr allocation lock that makes Legacy Copy scale poorly
+  with host threads (paper §V.A.2).
+
+Requests are context-manager friendly inside processes::
+
+    with (yield res.acquire()) :   # not valid python - use pattern below
+        ...
+
+Because generators cannot ``yield`` inside a ``with`` header cleanly, the
+idiomatic pattern here is explicit::
+
+    grant = yield res.acquire()
+    try:
+        ...
+    finally:
+        res.release(grant)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Mutex", "Grant"]
+
+
+class Grant:
+    """Token proving ownership of one unit of a resource."""
+
+    __slots__ = ("resource", "active")
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+        self.active = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Grant of {self.resource.name!r} active={self.active}>"
+
+
+class Resource:
+    """A counted, FIFO-fair shared resource.
+
+    ``capacity`` units exist; :meth:`acquire` returns an event that fires
+    (with a :class:`Grant` value) once a unit is available.  Fairness is
+    strict FIFO, which mirrors the in-order servicing of hardware queues
+    and keeps the simulation deterministic.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or f"resource@{id(self):x}"
+        self._in_use = 0
+        self._waiters: Deque[tuple[Event, Grant]] = deque()
+        # occupancy bookkeeping for utilization diagnostics
+        self._busy_time = 0.0
+        self._last_change = env.now
+
+    # -- stats -------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity busy since time ``since``."""
+        self._account()
+        horizon = self.env.now - since
+        if horizon <= 0:
+            return 0.0
+        return self._busy_time / (horizon * self.capacity)
+
+    def _account(self) -> None:
+        dt = self.env.now - self._last_change
+        if dt > 0:
+            self._busy_time += dt * self._in_use
+            self._last_change = self.env.now
+
+    # -- acquire/release -----------------------------------------------------
+    def acquire(self) -> Event:
+        """Return an event firing with a :class:`Grant` when a unit frees."""
+        ev = self.env.event()
+        grant = Grant(self)
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+            ev.succeed(grant)
+        else:
+            self._waiters.append((ev, grant))
+        return ev
+
+    def try_acquire(self) -> Optional[Grant]:
+        """Non-blocking acquire; returns a Grant or None."""
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+            return Grant(self)
+        return None
+
+    def release(self, grant: Grant) -> None:
+        if grant.resource is not self:
+            raise SimulationError("grant released to the wrong resource")
+        if not grant.active:
+            raise SimulationError("grant released twice")
+        grant.active = False
+        self._account()
+        if self._waiters:
+            ev, next_grant = self._waiters.popleft()
+            # hand the unit straight over: in_use stays constant
+            ev.succeed(next_grant)
+        else:
+            self._in_use -= 1
+            if self._in_use < 0:  # pragma: no cover - internal invariant
+                raise SimulationError(f"negative occupancy on {self.name!r}")
+
+
+class Mutex(Resource):
+    """Capacity-1 resource; models a host-side lock."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        super().__init__(env, capacity=1, name=name or f"mutex@{id(self):x}")
+
+    @property
+    def locked(self) -> bool:
+        return self._in_use > 0

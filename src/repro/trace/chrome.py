@@ -1,0 +1,103 @@
+"""Chrome-trace (Perfetto) export of detailed HSA timelines.
+
+A detailed trace (``ApuSystem(detailed_trace=True)``) keeps every HSA
+call with its start time and duration.  This module converts it to the
+Chrome Trace Event JSON format, so a simulated run can be inspected in
+``chrome://tracing`` / https://ui.perfetto.dev exactly like a rocprof
+capture of the real system: one row per HSA entry point, kernel and copy
+spans, queue-wait visible as gaps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .hsa_trace import HsaTrace
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: stable row ordering: storage ops first, then sync, then kernels
+_ROW_ORDER = (
+    "memory_pool_allocate",
+    "memory_pool_free",
+    "memory_async_copy",
+    "signal_async_handler",
+    "svm_attributes_set",
+    "signal_wait_scacquire",
+    "memory_copy",
+)
+
+
+def to_chrome_trace(
+    trace: HsaTrace,
+    process_name: str = "repro-apu",
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build a Chrome Trace Event dict from a detailed HSA trace.
+
+    Raises if the trace was not collected in detailed mode (aggregate
+    counters cannot be laid out on a timeline).
+    """
+    if not trace.detailed:
+        raise ValueError(
+            "chrome export needs a detailed trace: build the system with "
+            "detailed_trace=True"
+        )
+    tids = {name: i + 1 for i, name in enumerate(_ROW_ORDER)}
+    next_tid = len(_ROW_ORDER) + 1
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for name, tid in tids.items():
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+             "args": {"name": name}}
+        )
+    for ev in trace.events:
+        tid = tids.get(ev.name)
+        if tid is None:
+            tid = tids[ev.name] = next_tid
+            next_tid += 1
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                 "args": {"name": ev.name}}
+            )
+        events.append(
+            {
+                "name": ev.tag or ev.name,
+                "cat": ev.name,
+                "ph": "X",           # complete event (start + duration)
+                "pid": 1,
+                "tid": tid,
+                "ts": ev.start_us,   # chrome expects microseconds
+                "dur": ev.duration_us,
+            }
+        )
+    out: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if extra_meta:
+        out["otherData"] = dict(extra_meta)
+    return out
+
+
+def write_chrome_trace(
+    trace: HsaTrace,
+    fh_or_path,
+    process_name: str = "repro-apu",
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Serialize :func:`to_chrome_trace` to a file or path."""
+    doc = to_chrome_trace(trace, process_name=process_name, extra_meta=extra_meta)
+    if hasattr(fh_or_path, "write"):
+        json.dump(doc, fh_or_path)
+    else:
+        with open(fh_or_path, "w") as fh:
+            json.dump(doc, fh)

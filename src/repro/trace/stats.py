@@ -1,0 +1,96 @@
+"""Statistics used by the paper's methodology.
+
+§V: "Each SPECaccel 2023 experiment is run 8 times.  QMCPack experiments
+are run 4 times each […] The median value is used to compute ratios and
+we report the Coefficient of Variation (CoV) to support statistical
+robustness."  We reproduce both estimators plus helpers for aggregating
+repetition vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["median", "cov", "RepetitionStats", "order_of_magnitude"]
+
+
+def median(values: Sequence[float]) -> float:
+    """Sample median (the paper's central estimator)."""
+    if len(values) == 0:
+        raise ValueError("median of empty sequence")
+    return float(np.median(np.asarray(values, dtype=np.float64)))
+
+
+def cov(values: Sequence[float]) -> float:
+    """Coefficient of variation: sample std / mean.
+
+    Zero for constant samples and for a single observation; raises on an
+    all-zero sample, where the statistic is undefined.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("CoV of empty sequence")
+    if arr.size == 1:
+        return 0.0
+    mean = float(arr.mean())
+    if mean == 0.0:
+        raise ValueError("CoV undefined for zero-mean sample")
+    return float(arr.std(ddof=1)) / mean
+
+
+def order_of_magnitude(value_us: float) -> str:
+    """Render a duration the way Table III does: ``O(10^k)`` or ``O(0)``.
+
+    The paper uses O(0) for overheads that are identically absent.
+    """
+    if value_us <= 0.0:
+        return "O(0)"
+    exp = int(np.floor(np.log10(value_us)))
+    return f"O(10^{exp})"
+
+
+@dataclass(frozen=True)
+class RepetitionStats:
+    """Aggregate over one experiment's repetitions."""
+
+    values: tuple
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "RepetitionStats":
+        if len(values) == 0:
+            raise ValueError("no repetitions")
+        return cls(tuple(float(v) for v in values))
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def median(self) -> float:
+        return median(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def cov(self) -> float:
+        return cov(self.values)
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    def ratio_of_medians(self, other: "RepetitionStats") -> float:
+        """median(self) / median(other) — the paper's ratio estimator."""
+        denom = other.median
+        if denom == 0.0:
+            raise ZeroDivisionError("ratio against zero-median sample")
+        return self.median / denom

@@ -1,0 +1,29 @@
+"""Workloads: the QMCPack NiO proxy, SPECaccel 2023 proxies, and
+mechanism-isolating microbenchmarks."""
+
+from .base import Fidelity, ThreadBody, Workload, WorkloadResult
+from .micro import AllocChurn, FirstTouchSweep, GlobalBroadcast, TriadStream
+from .openfoam import OpenFoamUsm
+from .qmcpack import NIO_SIZES, QmcPackNio, nio_parameters
+from .specaccel import ALL_BENCHMARKS, Bt470, Ep452, Lbm404, SpC457, Stencil403
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "AllocChurn",
+    "Bt470",
+    "Ep452",
+    "Fidelity",
+    "FirstTouchSweep",
+    "GlobalBroadcast",
+    "Lbm404",
+    "NIO_SIZES",
+    "OpenFoamUsm",
+    "QmcPackNio",
+    "SpC457",
+    "Stencil403",
+    "ThreadBody",
+    "TriadStream",
+    "Workload",
+    "WorkloadResult",
+    "nio_parameters",
+]

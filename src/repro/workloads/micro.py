@@ -1,0 +1,195 @@
+"""Microbenchmarks isolating single mechanisms of the cost model.
+
+These aren't paper experiments; they exist for ablations and for pinning
+each calibrated constant to an observable effect:
+
+* :class:`TriadStream` — bandwidth/overhead balance of per-kernel
+  ``always`` maps (the QMCPack steady-state pattern in isolation).
+* :class:`FirstTouchSweep` — one large buffer, one kernel: isolates
+  XNACK replay vs bulk-map vs prefault cost per page.
+* :class:`GlobalBroadcast` — declare-target global updated between
+  kernels: the only workload where USM and Implicit Z-C diverge
+  (§IV.B vs §IV.C global handling).
+* :class:`AllocChurn` — map/unmap cycles of a given size: exposes the
+  pool retention threshold (spC/bt's GB-scale cliff).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memory.layout import MIB
+from ..omp.api import OmpThread
+from ..omp.mapping import MapClause, MapKind
+from .base import Fidelity, ThreadBody, Workload
+
+__all__ = ["TriadStream", "FirstTouchSweep", "GlobalBroadcast", "AllocChurn"]
+
+
+class TriadStream(Workload):
+    """STREAM-triad style kernels with per-kernel always-maps."""
+
+    name = "micro-triad"
+
+    def __init__(
+        self,
+        fidelity: Fidelity = Fidelity.BENCH,
+        n_threads: int = 1,
+        buffer_bytes: int = 8 * MIB,
+        kernel_us: float = 20.0,
+        full_iters: int = 2000,
+    ):
+        super().__init__(fidelity)
+        self.n_threads = n_threads
+        self.buffer_bytes = buffer_bytes
+        self.kernel_us = kernel_us
+        self.iters = fidelity.steps(full_iters)
+
+    def make_body(self) -> ThreadBody:
+        outputs = self.outputs
+        n, kernel_us, iters = self.buffer_bytes, self.kernel_us, self.iters
+
+        def body(th: OmpThread, tid: int):
+            a = yield from th.alloc(f"a{tid}", n, payload=np.arange(32.0))
+            b = yield from th.alloc(f"b{tid}", n, payload=np.ones(32))
+            c = yield from th.alloc(f"c{tid}", n, payload=np.zeros(32))
+            yield from th.target_enter_data(
+                [MapClause(a, MapKind.TO), MapClause(b, MapKind.TO),
+                 MapClause(c, MapKind.TO)]
+            )
+            aname, bname, cname = a.name, b.name, c.name
+
+            def triad(args, _g):
+                args[cname][:] = args[aname] + 2.0 * args[bname]
+
+            for it in range(iters):
+                if it == 1:
+                    th.mark("steady_start", first=False)
+                yield from th.target(
+                    "triad",
+                    kernel_us,
+                    maps=[
+                        MapClause(a, MapKind.TO, always=True),
+                        MapClause(b, MapKind.ALLOC),
+                        MapClause(c, MapKind.FROM, always=True),
+                    ],
+                    fn=triad,
+                )
+            th.mark("steady_end", first=False)
+            yield from th.target_exit_data(
+                [MapClause(a, MapKind.DELETE), MapClause(b, MapKind.DELETE),
+                 MapClause(c, MapKind.FROM)]
+            )
+            outputs.put(f"c{tid}", c.payload.copy())
+
+        return body
+
+
+class FirstTouchSweep(Workload):
+    """One buffer of ``nbytes``, mapped and touched by one kernel."""
+
+    name = "micro-first-touch"
+
+    def __init__(self, nbytes: int = 512 * MIB, kernel_us: float = 1000.0,
+                 fidelity: Fidelity = Fidelity.FULL):
+        super().__init__(fidelity)
+        self.nbytes = nbytes
+        self.kernel_us = kernel_us
+
+    def make_body(self) -> ThreadBody:
+        outputs = self.outputs
+        nbytes, kernel_us = self.nbytes, self.kernel_us
+
+        def body(th: OmpThread, tid: int):
+            buf = yield from th.alloc("data", nbytes, payload=np.zeros(64))
+            rec = yield from th.target(
+                "first_touch",
+                kernel_us,
+                maps=[MapClause(buf, MapKind.TOFROM)],
+                fn=lambda a, g: a["data"].__iadd__(1.0),
+            )
+            outputs.put("fault_stall_us", rec.fault_stall_us)
+            outputs.put("n_faults", rec.n_faults)
+            outputs.put("data", buf.payload.copy())
+
+        return body
+
+
+class GlobalBroadcast(Workload):
+    """Repeated global update + kernel read: USM vs per-device-copy."""
+
+    name = "micro-global-broadcast"
+
+    def __init__(self, fidelity: Fidelity = Fidelity.BENCH, full_iters: int = 2000,
+                 kernel_us: float = 10.0, global_bytes: int = 4 * MIB):
+        super().__init__(fidelity)
+        self.iters = fidelity.steps(full_iters)
+        self.kernel_us = kernel_us
+        self.global_bytes = global_bytes
+
+    def prepare(self, runtime) -> None:
+        """Register the declare-target global (call before ``run``)."""
+        self.glob = runtime.declare_target(
+            "coeffs",
+            np.zeros(max(1, min(self.global_bytes // 8, 1024))),
+            nbytes=self.global_bytes,
+        )
+
+    def make_body(self) -> ThreadBody:
+        outputs = self.outputs
+        iters, kernel_us, glob = self.iters, self.kernel_us, self.glob
+
+        def body(th: OmpThread, tid: int):
+            out = yield from th.alloc("out", 2 * MIB, payload=np.zeros(4))
+            yield from th.target_enter_data([MapClause(out, MapKind.TO)])
+            acc = 0.0
+            for it in range(iters):
+                if it == 1:
+                    th.mark("steady_start", first=False)
+                glob.host_payload[0] = float(it)
+                yield from th.update_global(glob)
+                yield from th.target(
+                    "read_global",
+                    kernel_us,
+                    maps=[MapClause(out, MapKind.FROM, always=True)],
+                    fn=lambda a, g: a["out"].__setitem__(0, g["coeffs"][0] * 2.0),
+                    globals_used=[glob],
+                )
+                acc += out.payload[0]
+            th.mark("steady_end", first=False)
+            yield from th.target_exit_data([MapClause(out, MapKind.DELETE)])
+            outputs.put("acc", acc)
+
+        return body
+
+
+class AllocChurn(Workload):
+    """Map/unmap cycles of one buffer size: the pool-retention cliff."""
+
+    name = "micro-alloc-churn"
+
+    def __init__(self, nbytes: int, cycles: int = 50,
+                 fidelity: Fidelity = Fidelity.FULL):
+        super().__init__(fidelity)
+        self.nbytes = nbytes
+        self.cycles = cycles
+
+    def make_body(self) -> ThreadBody:
+        outputs = self.outputs
+        nbytes, cycles = self.nbytes, self.cycles
+
+        def body(th: OmpThread, tid: int):
+            buf = yield from th.alloc("churn", nbytes, payload=np.zeros(16))
+            t0 = None
+            for cycle in range(cycles):
+                if cycle == 1:
+                    t0 = th.env.now  # first cycle grows the pool
+                yield from th.target_enter_data([MapClause(buf, MapKind.TO)])
+                yield from th.target(
+                    "touch", 50.0, maps=[MapClause(buf, MapKind.ALLOC)],
+                    fn=lambda a, g: None,
+                )
+                yield from th.target_exit_data([MapClause(buf, MapKind.DELETE)])
+            outputs.put("steady_cycle_us", (th.env.now - t0) / max(cycles - 1, 1))
+
+        return body

@@ -1,0 +1,152 @@
+"""OpenFOAM-style USM application proxy.
+
+The paper's §IV.B notes that the Unified Shared Memory implementation "is
+the main mechanism underlying the OpenFOAM MI300A porting results" of its
+reference [29].  This proxy models that application class — an
+unstructured CFD solver compiled with ``#pragma omp requires
+unified_shared_memory``:
+
+* large mesh/field arrays that are *not* explicitly transferred (maps are
+  presence bookkeeping only; the solver relies on unified memory);
+* declare-target **globals** holding solver controls (relaxation factors,
+  time-step) that the host updates every outer iteration — the one
+  pattern where USM's pointer-globals and Implicit Z-C's per-device
+  copies genuinely diverge (§IV.B vs §IV.C);
+* per-iteration structure: matrix assembly, ``n_smoother`` sweeps, and a
+  residual reduction read back on the host.
+
+Functionally the proxy runs a damped Jacobi iteration on a small payload
+system, so results are checkable across configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memory.layout import GIB, KIB
+from ..omp.api import OmpThread
+from ..omp.mapping import MapClause, MapKind
+from .base import Fidelity, ThreadBody, Workload
+
+__all__ = ["OpenFoamUsm"]
+
+#: mesh + field working set (cells, faces, coefficients)
+FIELD_BYTES = (int(1.0 * GIB), int(1.5 * GIB), int(0.5 * GIB))
+FULL_ITERS = 400
+ASSEMBLY_US = 4_000.0
+SMOOTHER_US = 1_500.0
+N_SMOOTHERS = 4
+REDUCE_US = 300.0
+PAYLOAD_N = 64
+
+
+class OpenFoamUsm(Workload):
+    """An OpenFOAM-like solver; pair with
+    ``RuntimeConfig.UNIFIED_SHARED_MEMORY`` for the intended deployment
+    (other configurations run it too, for comparison)."""
+
+    name = "openfoam-usm"
+    n_threads = 1
+
+    def __init__(self, fidelity: Fidelity = Fidelity.BENCH):
+        super().__init__(fidelity)
+        self.iters = fidelity.steps(FULL_ITERS)
+        self.relax = None   # declare-target global, set in prepare()
+        self.dt = None
+
+    def prepare(self, runtime) -> None:
+        """Register the solver-control globals (called by the runner
+        before device initialization)."""
+        self.relax = runtime.declare_target("relax", np.array([0.7]))
+        self.dt = runtime.declare_target("dt", np.array([1e-3]))
+
+    def make_body(self) -> ThreadBody:
+        outputs = self.outputs
+        iters = self.iters
+        relax, dt = self.relax, self.dt
+        if relax is None or dt is None:
+            raise RuntimeError("prepare(runtime) must run before make_body()")
+
+        def body(th: OmpThread, tid: int):
+            x = yield from th.alloc(
+                "field_x", FIELD_BYTES[0], payload=np.zeros(PAYLOAD_N)
+            )
+            b = yield from th.alloc(
+                "field_b", FIELD_BYTES[1],
+                payload=np.sin(np.linspace(0.0, 3.0, PAYLOAD_N)),
+            )
+            coeffs = yield from th.alloc(
+                "coeffs", FIELD_BYTES[2], payload=np.full(PAYLOAD_N, 0.25)
+            )
+            residual = yield from th.alloc(
+                "residual", 64 * KIB, payload=np.zeros(1)
+            )
+            yield from th.target_enter_data(
+                [
+                    MapClause(x, MapKind.TO),
+                    MapClause(b, MapKind.TO),
+                    MapClause(coeffs, MapKind.TO),
+                    MapClause(residual, MapKind.TO),
+                ]
+            )
+
+            def assembly(args, g):
+                args["coeffs"][:] = 0.25 + 0.001 * g["dt"][0]
+
+            def smoother(args, g):
+                w = g["relax"][0]
+                xx, bb, cc = args["field_x"], args["field_b"], args["coeffs"]
+                xx += w * cc * (bb - xx)
+
+            def reduce(args, g):
+                args["residual"][0] = float(
+                    np.abs(args["field_b"] - args["field_x"]).sum()
+                )
+
+            history = []
+            for it in range(iters):
+                if it == 1:
+                    th.mark("steady_start", first=False)
+                # host updates solver controls, publishes them to the GPU
+                relax.host_payload[0] = 0.7 - 0.2 * (it / max(iters, 1))
+                yield from th.update_global(relax)
+                yield from th.update_global(dt)
+                yield from th.target(
+                    "assembly", ASSEMBLY_US,
+                    maps=[MapClause(coeffs, MapKind.ALLOC)],
+                    fn=assembly, globals_used=[dt],
+                )
+                for _s in range(N_SMOOTHERS):
+                    yield from th.target(
+                        "smoother", SMOOTHER_US,
+                        maps=[
+                            MapClause(x, MapKind.ALLOC),
+                            MapClause(b, MapKind.ALLOC),
+                            MapClause(coeffs, MapKind.ALLOC),
+                        ],
+                        fn=smoother, globals_used=[relax],
+                    )
+                yield from th.target(
+                    "residual", REDUCE_US,
+                    maps=[
+                        MapClause(x, MapKind.ALLOC),
+                        MapClause(b, MapKind.ALLOC),
+                        MapClause(residual, MapKind.FROM, always=True),
+                    ],
+                    fn=reduce,
+                )
+                history.append(float(residual.payload[0]))
+            th.mark("steady_end", first=False)
+
+            yield from th.target_exit_data(
+                [
+                    MapClause(x, MapKind.FROM),
+                    MapClause(b, MapKind.RELEASE),
+                    MapClause(coeffs, MapKind.RELEASE),
+                    MapClause(residual, MapKind.RELEASE),
+                ]
+            )
+            outputs.put("x", x.payload.copy())
+            outputs.put("residual_history", np.array(history))
+
+        return body

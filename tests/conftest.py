@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApuSystem, CostModel, RuntimeConfig
+from repro.omp import MapClause, MapKind, OpenMPRuntime
+
+
+def make_runtime(config, cost=None, seed=0, kernel_trace=False):
+    """Fresh system + runtime for one configuration (deterministic)."""
+    system = ApuSystem(cost=cost or CostModel(), seed=seed)
+    return OpenMPRuntime(system, config, kernel_trace=kernel_trace)
+
+
+def run_single(config, body, cost=None, kernel_trace=False, n_threads=1):
+    """Run a one-thread workload body under a configuration."""
+    rt = make_runtime(config, cost=cost, kernel_trace=kernel_trace)
+    return rt, rt.run(body, n_threads=n_threads)
+
+
+@pytest.fixture
+def copy_runtime():
+    return make_runtime(RuntimeConfig.COPY)
+
+
+@pytest.fixture
+def izc_runtime():
+    return make_runtime(RuntimeConfig.IMPLICIT_ZERO_COPY)
+
+
+ALL = [
+    RuntimeConfig.COPY,
+    RuntimeConfig.UNIFIED_SHARED_MEMORY,
+    RuntimeConfig.IMPLICIT_ZERO_COPY,
+    RuntimeConfig.EAGER_MAPS,
+]

@@ -1,0 +1,80 @@
+"""Tests for Chrome-trace export (repro.trace.chrome)."""
+
+import json
+
+import pytest
+
+from repro.core import ApuSystem, CostModel, RuntimeConfig
+from repro.memory import PAGE_2M
+from repro.omp import MapClause, MapKind, OpenMPRuntime
+from repro.trace.chrome import to_chrome_trace, write_chrome_trace
+from repro.trace.hsa_trace import HsaTrace
+
+
+def run_detailed():
+    system = ApuSystem(CostModel(), detailed_trace=True)
+    rt = OpenMPRuntime(system, RuntimeConfig.COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", 2 * PAGE_2M)
+        yield from th.target("k", 100.0, maps=[MapClause(x, MapKind.TOFROM)])
+
+    rt.run(body)
+    return system.hsa_trace
+
+
+def test_non_detailed_trace_rejected():
+    with pytest.raises(ValueError):
+        to_chrome_trace(HsaTrace(detailed=False))
+
+
+def test_export_structure():
+    doc = to_chrome_trace(run_detailed())
+    events = doc["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    metas = [e for e in events if e.get("ph") == "M"]
+    assert spans and metas
+    cats = {e["cat"] for e in spans}
+    assert "memory_async_copy" in cats
+    assert "signal_wait_scacquire" in cats
+    for e in spans:
+        assert e["dur"] >= 0
+        assert e["ts"] >= 0
+
+
+def test_rows_grouped_per_call_name():
+    doc = to_chrome_trace(run_detailed())
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    by_cat_tid = {}
+    for e in spans:
+        by_cat_tid.setdefault(e["cat"], set()).add(e["tid"])
+    for cat, tids in by_cat_tid.items():
+        assert len(tids) == 1, cat  # one timeline row per HSA entry point
+
+
+def test_spans_match_trace_counts():
+    trace = run_detailed()
+    doc = to_chrome_trace(trace)
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert len(spans) == len(trace.events)
+
+
+def test_write_to_path_and_filelike(tmp_path):
+    trace = run_detailed()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(trace, str(path), extra_meta={"config": "copy"})
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["config"] == "copy"
+
+    import io
+
+    buf = io.StringIO()
+    write_chrome_trace(trace, buf)
+    assert json.loads(buf.getvalue())["traceEvents"]
+
+
+def test_tags_become_span_names():
+    doc = to_chrome_trace(run_detailed())
+    names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+    # copy tags carry buffer names (h2d:x / d2h:x)
+    assert any(n.startswith("h2d:") for n in names)

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_known_commands():
+    parser = build_parser()
+    for cmd in ("fig3", "fig4", "table1", "table2", "table3", "all"):
+        args = parser.parse_args([cmd])
+        assert args.command == cmd
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig9"])
+
+
+def test_size_list_parsing():
+    parser = build_parser()
+    args = parser.parse_args(["fig3", "--sizes", "2,8,128"])
+    assert args.sizes == [2, 8, 128]
+
+
+def test_table3_quick_end_to_end(capsys):
+    assert main(["table3", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "Eager Maps" in out
+
+
+def test_fig3_quick_end_to_end(capsys):
+    assert main(["fig3", "--quick", "--sizes", "2", "--threads", "1,4"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 3" in out and "NiO S2" in out
+
+
+def test_out_file(tmp_path, capsys):
+    path = tmp_path / "report.txt"
+    assert main(["table3", "--quick", "--out", str(path)]) == 0
+    assert "Table III" in path.read_text()

@@ -1,0 +1,85 @@
+"""Unit tests for runtime-configuration selection (§IV.C + footnote 1)."""
+
+import pytest
+
+from repro.core import ConfigError, RunEnvironment, RuntimeConfig, select_config
+
+
+def test_usm_app_on_apu_with_xnack():
+    env = RunEnvironment(is_apu=True, hsa_xnack=True, app_requires_usm=True)
+    assert select_config(env) is RuntimeConfig.UNIFIED_SHARED_MEMORY
+
+
+def test_usm_app_without_xnack_is_an_error():
+    """USM apps 'can only be deployed on GPUs that support Unified
+    Memory' (§IV.B)."""
+    env = RunEnvironment(is_apu=True, hsa_xnack=False, app_requires_usm=True)
+    with pytest.raises(ConfigError):
+        select_config(env)
+
+
+def test_apu_with_xnack_auto_selects_implicit_zero_copy():
+    env = RunEnvironment(is_apu=True, hsa_xnack=True)
+    assert select_config(env) is RuntimeConfig.IMPLICIT_ZERO_COPY
+
+
+def test_apu_without_xnack_falls_back_to_copy():
+    env = RunEnvironment(is_apu=True, hsa_xnack=False)
+    assert select_config(env) is RuntimeConfig.COPY
+
+
+def test_discrete_gpu_defaults_to_copy():
+    env = RunEnvironment(is_apu=False, hsa_xnack=True)
+    assert select_config(env) is RuntimeConfig.COPY
+
+
+def test_discrete_gpu_opt_in_implicit_zero_copy():
+    """Footnote 1: OMPX_APU_MAPS=1 + HSA_XNACK=1 on a discrete GPU."""
+    env = RunEnvironment(is_apu=False, hsa_xnack=True, ompx_apu_maps=True)
+    assert select_config(env) is RuntimeConfig.IMPLICIT_ZERO_COPY
+
+
+def test_discrete_gpu_apu_maps_without_xnack_stays_copy():
+    env = RunEnvironment(is_apu=False, hsa_xnack=False, ompx_apu_maps=True)
+    assert select_config(env) is RuntimeConfig.COPY
+
+
+def test_eager_maps_opt_in_overrides_implicit():
+    env = RunEnvironment(is_apu=True, hsa_xnack=True, ompx_eager_maps=True)
+    assert select_config(env) is RuntimeConfig.EAGER_MAPS
+
+
+def test_eager_maps_works_without_xnack():
+    """§IV.D: 'the GPU does not need to run with XNACK support'."""
+    env = RunEnvironment(is_apu=True, hsa_xnack=False, ompx_eager_maps=True)
+    assert select_config(env) is RuntimeConfig.EAGER_MAPS
+
+
+def test_usm_pragma_wins_over_eager_opt_in():
+    env = RunEnvironment(
+        is_apu=True, hsa_xnack=True, app_requires_usm=True, ompx_eager_maps=True
+    )
+    assert select_config(env) is RuntimeConfig.UNIFIED_SHARED_MEMORY
+
+
+def test_config_properties():
+    assert not RuntimeConfig.COPY.is_zero_copy
+    for cfg in (
+        RuntimeConfig.UNIFIED_SHARED_MEMORY,
+        RuntimeConfig.IMPLICIT_ZERO_COPY,
+        RuntimeConfig.EAGER_MAPS,
+    ):
+        assert cfg.is_zero_copy
+    assert RuntimeConfig.UNIFIED_SHARED_MEMORY.needs_xnack
+    assert RuntimeConfig.IMPLICIT_ZERO_COPY.needs_xnack
+    assert not RuntimeConfig.EAGER_MAPS.needs_xnack
+    assert not RuntimeConfig.COPY.needs_xnack
+    assert RuntimeConfig.UNIFIED_SHARED_MEMORY.globals_as_pointer
+    assert not RuntimeConfig.IMPLICIT_ZERO_COPY.globals_as_pointer
+
+
+def test_config_labels_match_paper():
+    assert RuntimeConfig.COPY.label == "Copy"
+    assert RuntimeConfig.IMPLICIT_ZERO_COPY.label == "Implicit Z-C"
+    assert RuntimeConfig.UNIFIED_SHARED_MEMORY.label == "Unified Shared Memory"
+    assert RuntimeConfig.EAGER_MAPS.label == "Eager Maps"

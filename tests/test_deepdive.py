@@ -1,0 +1,77 @@
+"""Tests for the §V.A.4 Eager-vs-IZC analysis and the S1 exclusion."""
+
+import pytest
+
+from repro.core import RuntimeConfig
+from repro.experiments import execute
+from repro.experiments.deepdive import eager_vs_izc_analysis
+from repro.workloads import Fidelity, QmcPackNio
+
+
+def test_analysis_structure():
+    a = eager_vs_izc_analysis(fidelity=Fidelity.TEST, first_n=50)
+    assert a.izc_total_stall_us == pytest.approx(
+        a.izc_first_n_stall_us + a.izc_remaining_stall_us
+    )
+    assert a.eager_svm_calls > 0
+    assert a.eager_svm_total_us > 0
+
+
+def test_initial_phase_absorbs_most_fault_stall():
+    """§V.A.4: the first launches pay (almost) all of the first-touch."""
+    a = eager_vs_izc_analysis(fidelity=Fidelity.TEST, first_n=100)
+    assert a.izc_first_n_stall_us > 0.8 * a.izc_total_stall_us
+
+
+def test_first_touch_advantage_is_tens_of_ms_scale():
+    """§V.A.4: S2 first-touch 'in the order of a tenth of a second'
+    total, 'tens of milliseconds' in the first hundred launches."""
+    a = eager_vs_izc_analysis(fidelity=Fidelity.TEST, first_n=100)
+    assert 1e4 < a.izc_first_n_stall_us < 5e5   # tens of ms
+    assert a.izc_total_stall_us < 1e6           # well under a second
+
+
+def test_eager_pays_more_in_syscalls_than_it_saves():
+    """§V.A.4's bottom line: 'Eager Maps saves less than a second, but
+    pays a few seconds to perform prefaulting.'
+
+    The syscall cost is linear in the number of steady-state kernels
+    (one svm call per map), while the first-touch saving is one-time, so
+    we measure at BENCH fidelity and extrapolate the syscall side to
+    paper scale (FULL = 20 × BENCH) — the Table I benchmark measures the
+    same thing end-to-end at FULL."""
+    from repro.workloads.qmcpack import FULL_STEPS
+
+    a = eager_vs_izc_analysis(fidelity=Fidelity.BENCH, first_n=100)
+    scale = FULL_STEPS / Fidelity.BENCH.steps(FULL_STEPS)
+    svm_at_full = a.eager_svm_total_us * scale
+    assert svm_at_full > a.izc_total_stall_us
+    # the saving itself is sub-second ("a tenth of a second")
+    assert a.izc_total_stall_us < 1e6
+
+
+def test_persisting_difference_from_reduction_refresh():
+    """§V.A.4: a small fault stream persists after the initial phase,
+    due to the periodically re-allocated host reduction arrays."""
+    a = eager_vs_izc_analysis(fidelity=Fidelity.BENCH, first_n=200)
+    assert a.izc_remaining_stall_us > 0
+
+
+def test_s1_exclusion_rationale():
+    """§V.A: S1 'spends all execution in the offloading runtime and
+    minimal time in GPU kernels, resulting in zero-copy configurations
+    disproportionately winning over Copy' — the reason the paper excludes
+    it from the figures."""
+
+    def ratio(size):
+        rc = execute(
+            QmcPackNio(size=size, n_threads=1, fidelity=Fidelity.TEST),
+            RuntimeConfig.COPY,
+        )
+        ri = execute(
+            QmcPackNio(size=size, n_threads=1, fidelity=Fidelity.TEST),
+            RuntimeConfig.IMPLICIT_ZERO_COPY,
+        )
+        return rc.steady_us / ri.steady_us
+
+    assert ratio(1) > ratio(2) > ratio(8)

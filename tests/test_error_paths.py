@@ -1,0 +1,171 @@
+"""Error-path and edge-case coverage across the OpenMP layer."""
+
+import numpy as np
+import pytest
+
+from conftest import make_runtime
+
+from repro.core import ApuSystem, CostModel, RuntimeConfig
+from repro.memory import MIB, PAGE_2M
+from repro.omp import MapClause, MapKind, MappingError, OpenMPRuntime
+
+
+def test_alloc_rejects_nonpositive_size():
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body(th, tid):
+        with pytest.raises(Exception):
+            yield from th.alloc("x", 0)
+        yield th.env.timeout(0)
+
+    rt.run(body)
+
+
+def test_exit_only_kinds_rejected_on_enter():
+    rt = make_runtime(RuntimeConfig.IMPLICIT_ZERO_COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        with pytest.raises(MappingError):
+            yield from th.target_enter_data([MapClause(x, MapKind.RELEASE)])
+        with pytest.raises(MappingError):
+            yield from th.target_enter_data([MapClause(x, MapKind.DELETE)])
+
+    rt.run(body)
+
+
+def test_copy_policy_exit_only_kinds_rejected_on_enter():
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        with pytest.raises(MappingError):
+            yield from th.target_enter_data([MapClause(x, MapKind.DELETE)])
+
+    rt.run(body)
+
+
+def test_unmap_of_absent_buffer_rejected():
+    for cfg in (RuntimeConfig.COPY, RuntimeConfig.IMPLICIT_ZERO_COPY):
+        rt = make_runtime(cfg)
+
+        def body(th, tid):
+            x = yield from th.alloc("x", PAGE_2M)
+            with pytest.raises(MappingError):
+                yield from th.target_exit_data([MapClause(x, MapKind.RELEASE)])
+
+        rt.run(body)
+
+
+def test_use_after_free_buffer_in_map():
+    rt = make_runtime(RuntimeConfig.IMPLICIT_ZERO_COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.free(x)
+        with pytest.raises(RuntimeError, match="use-after-free"):
+            yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+
+    rt.run(body)
+
+
+def test_kernel_exception_propagates():
+    rt = make_runtime(RuntimeConfig.IMPLICIT_ZERO_COPY)
+
+    def body(th, tid):
+        def bad_kernel(args, g):
+            raise ValueError("numerical blow-up")
+
+        yield from th.target("bad", 10.0, fn=bad_kernel)
+
+    with pytest.raises(ValueError, match="numerical blow-up"):
+        rt.run(body)
+
+
+def test_two_runs_on_one_runtime_rejected_via_init_guard():
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body(th, tid):
+        yield th.env.timeout(0)
+
+    rt.run(body)
+    # the device is initialized; declare_target must now fail
+    with pytest.raises(RuntimeError):
+        rt.declare_target("late", np.array([1.0]))
+
+
+def test_workload_oom_on_tiny_hbm():
+    from repro.memory import OutOfMemoryError
+
+    # 128 frames: runtime init uses ~55, the buffer 50 — only Copy's
+    # shadow duplication overflows
+    cost = CostModel(hbm_bytes=128 * PAGE_2M)
+    rt = OpenMPRuntime(ApuSystem(cost), RuntimeConfig.COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", 50 * PAGE_2M)
+        # Copy's shadow allocation doubles the footprint: boom
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+
+    with pytest.raises(OutOfMemoryError):
+        rt.run(body)
+
+
+def test_zero_copy_never_duplicates_so_big_buffer_fits():
+    cost = CostModel(hbm_bytes=128 * PAGE_2M)
+    rt = OpenMPRuntime(ApuSystem(cost), RuntimeConfig.IMPLICIT_ZERO_COPY)
+    done = {}
+
+    def body(th, tid):
+        x = yield from th.alloc("x", 50 * PAGE_2M)
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        yield from th.target("k", 10.0, maps=[MapClause(x, MapKind.ALLOC)])
+        yield from th.target_exit_data([MapClause(x, MapKind.DELETE)])
+        done["ok"] = True
+
+    rt.run(body)
+    assert done["ok"]
+
+
+def test_empty_target_no_maps_no_fn():
+    for cfg in (RuntimeConfig.COPY, RuntimeConfig.EAGER_MAPS):
+        rt = make_runtime(cfg)
+        out = {}
+
+        def body(th, tid):
+            rec = yield from th.target("noop", 25.0)
+            out["rec"] = rec
+
+        rt.run(body)
+        assert out["rec"].compute_us == 25.0
+        assert out["rec"].n_faults == 0
+
+
+def test_delete_with_multiple_refs_forces_removal():
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        for _ in range(3):
+            yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        yield from th.target_exit_data([MapClause(x, MapKind.DELETE)])
+        assert not th.rt.table.is_present(x)
+
+    rt.run(body)
+
+
+def test_ledger_counts_consistent():
+    rt = make_runtime(RuntimeConfig.IMPLICIT_ZERO_COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        for _ in range(5):
+            yield from th.target("k", 10.0, maps=[MapClause(x, MapKind.ALLOC)])
+        yield from th.target_exit_data([MapClause(x, MapKind.DELETE)])
+
+    res = rt.run(body)
+    assert res.ledger.n_kernels == 5
+    # enter_data(1) + 5 kernels × 1 clause
+    assert res.ledger.n_map_enters == 6
+    assert res.ledger.n_map_exits == 6

@@ -1,0 +1,351 @@
+"""Unit tests for the HSA/ROCr runtime model (repro.hsa)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import CostModel
+from repro.driver import Kfd
+from repro.hsa import HsaRuntime, Signal
+from repro.memory import (
+    GIB,
+    MIB,
+    PAGE_2M,
+    AddressRange,
+    OsAllocator,
+    PageTable,
+    PhysicalMemory,
+)
+from repro.sim import Environment
+from repro.trace.hsa_trace import HsaTrace
+
+
+def make_hsa(xnack=True, cost=None):
+    env = Environment()
+    cost = cost or CostModel()
+    mem = PhysicalMemory(total_bytes=16 * GIB, frame_bytes=PAGE_2M)
+    cpu_pt = PageTable(PAGE_2M, "cpu")
+    gpu_pt = PageTable(PAGE_2M, "gpu")
+    kfd = Kfd(cost, mem, cpu_pt, gpu_pt, xnack_enabled=xnack)
+    osalloc = OsAllocator(mem, cpu_pt, on_unmap=kfd.mmu_unmap)
+    trace = HsaTrace()
+    hsa = HsaRuntime(env, cost, kfd, trace)
+    return env, cost, hsa, kfd, osalloc, trace
+
+
+def run_proc(env, gen):
+    return env.run(env.process(gen))
+
+
+# ---------------------------------------------------------------------------
+# memory pool
+# ---------------------------------------------------------------------------
+
+
+def test_pool_allocate_traced_and_timed():
+    env, cost, hsa, _, _, trace = make_hsa()
+
+    def proc():
+        rng = yield from hsa.memory_pool_allocate(3 * PAGE_2M)
+        return rng
+
+    rng = run_proc(env, proc())
+    assert rng.nbytes == 3 * PAGE_2M
+    assert trace.count("memory_pool_allocate") == 1
+    expected = cost.pool_alloc_base_us + 3 * cost.pool_alloc_page_us
+    assert env.now == pytest.approx(expected)
+
+
+def test_pool_cache_hit_is_cheap():
+    env, cost, hsa, _, _, _ = make_hsa()
+
+    def proc():
+        rng = yield from hsa.memory_pool_allocate(PAGE_2M)
+        yield from hsa.memory_pool_free(rng)
+        t0 = env.now
+        yield from hsa.memory_pool_allocate(PAGE_2M)
+        return env.now - t0
+
+    dur = run_proc(env, proc())
+    assert dur == pytest.approx(cost.pool_alloc_base_us)
+    assert hsa.pool.cache_hits == 1
+
+
+def test_pool_large_blocks_released_not_retained():
+    env, cost, hsa, kfd, _, _ = make_hsa()
+    big = cost.pool_retain_max_bytes + PAGE_2M
+
+    def proc():
+        rng = yield from hsa.memory_pool_allocate(big)
+        yield from hsa.memory_pool_free(rng)
+        t0 = env.now
+        yield from hsa.memory_pool_allocate(big)
+        return env.now - t0
+
+    dur = run_proc(env, proc())
+    # second allocation pays full driver work again (spC/bt mechanism)
+    n_pages = AddressRange(0, big).n_pages(PAGE_2M)
+    assert dur == pytest.approx(cost.pool_alloc_base_us + n_pages * cost.pool_alloc_page_us)
+    assert hsa.pool.cache_hits == 0
+
+
+def test_pool_live_bytes_and_unknown_free():
+    env, _, hsa, _, _, _ = make_hsa()
+
+    def proc():
+        rng = yield from hsa.memory_pool_allocate(MIB)
+        return rng
+
+    rng = run_proc(env, proc())
+    assert hsa.pool.live_bytes == PAGE_2M  # backing is page-granular
+    with pytest.raises(ValueError):
+        hsa.pool.free(AddressRange(0x1234, 10))
+
+
+def test_pool_drain_releases_retained_blocks():
+    env, _, hsa, _, _, _ = make_hsa()
+
+    def proc():
+        rng = yield from hsa.memory_pool_allocate(PAGE_2M)
+        yield from hsa.memory_pool_free(rng)
+
+    run_proc(env, proc())
+    assert hsa.pool.bytes_retained == PAGE_2M
+    hsa.pool.drain()
+    assert hsa.pool.bytes_retained == 0
+
+
+# ---------------------------------------------------------------------------
+# copies
+# ---------------------------------------------------------------------------
+
+
+def test_async_copy_moves_data_and_traces():
+    env, cost, hsa, _, _, trace = make_hsa()
+    src = np.arange(16.0)
+    dst = np.zeros(16)
+
+    def proc():
+        sig = hsa.memory_async_copy(dst, src, 128)
+        yield from hsa.signal_wait_scacquire(sig)
+
+    run_proc(env, proc())
+    assert np.array_equal(dst, src)
+    assert trace.count("memory_async_copy") == 1
+    assert trace.count("signal_wait_scacquire") == 1
+    assert trace.total_us("memory_async_copy") == pytest.approx(cost.copy_us(128))
+
+
+def test_copy_duration_scales_with_bytes():
+    env, cost, hsa, _, _, trace = make_hsa()
+
+    def proc():
+        sig = hsa.memory_async_copy(None, None, GIB)
+        yield from hsa.signal_wait_scacquire(sig)
+
+    run_proc(env, proc())
+    assert trace.total_us("memory_async_copy") == pytest.approx(
+        cost.copy_base_us + GIB / cost.copy_bytes_per_us
+    )
+
+
+def test_sdma_engines_limit_concurrency():
+    env, cost, hsa, _, _, _ = make_hsa()
+    n = cost.n_sdma_engines + 1
+    one_copy = cost.copy_us(2**20)
+
+    def proc():
+        sigs = [hsa.memory_async_copy(None, None, 2**20, tag=f"c{i}") for i in range(n)]
+        yield from hsa.signal_wait_scacquire_all(sigs)
+
+    run_proc(env, proc())
+    # third copy had to wait for an engine: two rounds of copy time
+    assert env.now == pytest.approx(2 * one_copy + cost.signal_wait_base_us)
+
+
+def test_async_handler_traced_without_wait():
+    env, _, hsa, _, _, trace = make_hsa()
+
+    def proc():
+        sig = hsa.memory_async_copy(None, None, 64)
+        hsa.attach_async_handler(sig)
+        yield env.timeout(1000.0)
+
+    run_proc(env, proc())
+    env.run()
+    assert trace.count("signal_async_handler") == 1
+    assert trace.count("signal_wait_scacquire") == 0
+
+
+def test_partial_payload_copy_is_safe():
+    env, _, hsa, _, _, _ = make_hsa()
+    src = np.arange(8.0)
+    dst = np.zeros(4)
+
+    def proc():
+        sig = hsa.memory_async_copy(dst, src, 64)
+        yield from hsa.signal_wait_scacquire(sig)
+
+    run_proc(env, proc())
+    assert np.array_equal(dst, src[:4])
+
+
+def test_negative_copy_size_rejected():
+    _, _, hsa, _, _, _ = make_hsa()
+    with pytest.raises(ValueError):
+        hsa.memory_async_copy(None, None, -1)
+
+
+# ---------------------------------------------------------------------------
+# signal waits
+# ---------------------------------------------------------------------------
+
+
+def test_wait_latency_includes_blocked_time():
+    env, cost, hsa, _, _, trace = make_hsa()
+    sig = Signal(env)
+
+    def completer():
+        yield env.timeout(50.0)
+        sig.complete()
+
+    def waiter():
+        yield from hsa.signal_wait_scacquire(sig)
+
+    env.process(completer())
+    run_proc(env, waiter())
+    assert trace.total_us("signal_wait_scacquire") == pytest.approx(
+        50.0 + cost.signal_wait_base_us
+    )
+
+
+def test_wait_on_done_signal_costs_base_only():
+    env, cost, hsa, _, _, trace = make_hsa()
+    sig = Signal(env)
+    sig.complete()
+
+    def waiter():
+        yield from hsa.signal_wait_scacquire(sig)
+
+    run_proc(env, waiter())
+    assert trace.total_us("signal_wait_scacquire") == pytest.approx(
+        cost.signal_wait_base_us
+    )
+
+
+def test_barrier_wait_records_one_call():
+    env, _, hsa, _, _, trace = make_hsa()
+
+    def proc():
+        sigs = [hsa.memory_async_copy(None, None, 64) for _ in range(4)]
+        yield from hsa.signal_wait_scacquire_all(sigs)
+
+    run_proc(env, proc())
+    assert trace.count("signal_wait_scacquire") == 1
+
+
+# ---------------------------------------------------------------------------
+# prefault syscall
+# ---------------------------------------------------------------------------
+
+
+def test_svm_attributes_set_first_and_repeat():
+    env, cost, hsa, _, osalloc, trace = make_hsa()
+    rng = osalloc.alloc(4 * PAGE_2M)
+
+    def proc():
+        r1 = yield from hsa.svm_attributes_set(rng)
+        r2 = yield from hsa.svm_attributes_set(rng)
+        return r1, r2
+
+    r1, r2 = run_proc(env, proc())
+    assert (r1.n_new, r2.n_new) == (4, 0)
+    assert trace.count("svm_attributes_set") == 2
+    call_base = max(cost.prefault_call_us, cost.syscall_base_us)
+    first = call_base + 4 * cost.prefault_page_us
+    repeat = call_base + 4 * cost.prefault_verify_page_us
+    assert trace.total_us("svm_attributes_set") == pytest.approx(first + repeat)
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_runs_functional_payload():
+    env, _, hsa, _, _, _ = make_hsa()
+    data = np.zeros(4)
+
+    def body():
+        data[:] = 7.0
+
+    def proc():
+        sig = hsa.dispatch_kernel("k", 100.0, fn=body)
+        yield from hsa.signal_wait_scacquire(sig)
+
+    run_proc(env, proc())
+    assert np.all(data == 7.0)
+
+
+def test_kernel_faults_extend_duration():
+    env, cost, hsa, _, osalloc, _ = make_hsa()
+    rng = osalloc.alloc(2 * PAGE_2M)
+
+    def proc():
+        sig = hsa.dispatch_kernel("k", 100.0, fault_ranges=[rng])
+        yield from hsa.signal_wait_scacquire(sig)
+        return sig.value
+
+    rec = run_proc(env, proc())
+    assert rec.n_faults == 2
+    assert rec.fault_stall_us == pytest.approx(
+        cost.xnack_kernel_entry_us + 2 * cost.xnack_fault_us_per_page
+    )
+    assert rec.end_us - rec.start_us == pytest.approx(
+        cost.dispatch_us + 100.0 + rec.fault_stall_us
+    )
+
+
+def test_kernel_second_launch_no_faults():
+    env, _, hsa, _, osalloc, _ = make_hsa()
+    rng = osalloc.alloc(2 * PAGE_2M)
+
+    def proc():
+        s1 = hsa.dispatch_kernel("k1", 10.0, fault_ranges=[rng])
+        yield from hsa.signal_wait_scacquire(s1)
+        s2 = hsa.dispatch_kernel("k2", 10.0, fault_ranges=[rng])
+        yield from hsa.signal_wait_scacquire(s2)
+        return s2.value
+
+    rec = run_proc(env, proc())
+    assert rec.n_faults == 0
+
+
+def test_gpu_queue_capacity_limits_kernel_concurrency():
+    env, cost, hsa, _, _, _ = make_hsa()
+    n = cost.n_gpu_queues + 1
+
+    def proc():
+        sigs = [hsa.dispatch_kernel(f"k{i}", 100.0) for i in range(n)]
+        yield from hsa.signal_wait_scacquire_all(sigs)
+
+    run_proc(env, proc())
+    per = cost.dispatch_us + 100.0
+    assert env.now == pytest.approx(2 * per + cost.signal_wait_base_us)
+
+
+def test_kernel_on_complete_callback():
+    env, _, hsa, _, _, _ = make_hsa()
+    seen = []
+
+    def proc():
+        sig = hsa.dispatch_kernel("k", 42.0, on_complete=seen.append)
+        yield from hsa.signal_wait_scacquire(sig)
+
+    run_proc(env, proc())
+    assert len(seen) == 1 and seen[0].compute_us == 42.0
+
+
+def test_kernel_negative_duration_rejected():
+    _, _, hsa, _, _, _ = make_hsa()
+    with pytest.raises(ValueError):
+        hsa.dispatch_kernel("k", -1.0)

@@ -1,0 +1,250 @@
+"""Unit tests for physical memory, page tables, OS allocator, buffers."""
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    MIB,
+    PAGE_2M,
+    AddressRange,
+    AllocationError,
+    DeviceBuffer,
+    HostBuffer,
+    MapOrigin,
+    OsAllocator,
+    OutOfMemoryError,
+    PageTable,
+    PhysicalMemory,
+)
+
+
+# ---------------------------------------------------------------------------
+# PhysicalMemory
+# ---------------------------------------------------------------------------
+
+
+def test_physical_alloc_and_free_roundtrip():
+    mem = PhysicalMemory(total_bytes=8 * PAGE_2M, frame_bytes=PAGE_2M)
+    frames = mem.alloc_frames(3)
+    assert len(set(frames)) == 3
+    assert mem.frames_in_use == 3
+    assert mem.bytes_in_use == 3 * PAGE_2M
+    mem.free_frames(frames)
+    assert mem.frames_in_use == 0
+
+
+def test_physical_peak_tracking():
+    mem = PhysicalMemory(total_bytes=8 * PAGE_2M, frame_bytes=PAGE_2M)
+    frames = mem.alloc_frames(5)
+    mem.free_frames(frames[:4])
+    assert mem.peak_frames == 5
+    assert mem.frames_in_use == 1
+
+
+def test_physical_exhaustion_raises():
+    mem = PhysicalMemory(total_bytes=2 * PAGE_2M, frame_bytes=PAGE_2M)
+    mem.alloc_frames(2)
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc_frame()
+
+
+def test_physical_frames_recycled():
+    mem = PhysicalMemory(total_bytes=4 * PAGE_2M, frame_bytes=PAGE_2M)
+    f = mem.alloc_frame()
+    mem.free_frame(f)
+    assert mem.alloc_frame() == f
+
+
+def test_physical_invalid_geometry():
+    with pytest.raises(ValueError):
+        PhysicalMemory(total_bytes=PAGE_2M + 1, frame_bytes=PAGE_2M)
+
+
+def test_physical_unknown_frame_free_rejected():
+    mem = PhysicalMemory(total_bytes=4 * PAGE_2M, frame_bytes=PAGE_2M)
+    with pytest.raises(ValueError):
+        mem.free_frame(99)
+
+
+# ---------------------------------------------------------------------------
+# PageTable
+# ---------------------------------------------------------------------------
+
+
+def test_pagetable_install_lookup_evict():
+    pt = PageTable(PAGE_2M, "gpu")
+    pt.install(0, 7, MapOrigin.XNACK_REPLAY)
+    assert pt.present(0)
+    assert pt.lookup(0).frame == 7
+    pte = pt.evict(0)
+    assert pte.origin is MapOrigin.XNACK_REPLAY
+    assert not pt.present(0)
+
+
+def test_pagetable_double_install_rejected():
+    pt = PageTable(PAGE_2M)
+    pt.install(0, 1, MapOrigin.BULK_ALLOC)
+    with pytest.raises(KeyError):
+        pt.install(0, 2, MapOrigin.BULK_ALLOC)
+
+
+def test_pagetable_unaligned_install_rejected():
+    pt = PageTable(PAGE_2M)
+    with pytest.raises(ValueError):
+        pt.install(123, 1, MapOrigin.OS_TOUCH)
+
+
+def test_pagetable_evict_missing_rejected():
+    pt = PageTable(PAGE_2M)
+    with pytest.raises(KeyError):
+        pt.evict(0)
+
+
+def test_pagetable_missing_and_present_pages():
+    pt = PageTable(PAGE_2M)
+    rng = AddressRange(0, 4 * PAGE_2M)
+    pt.install(PAGE_2M, 1, MapOrigin.PREFAULT)
+    pt.install(3 * PAGE_2M, 2, MapOrigin.PREFAULT)
+    assert pt.missing_pages(rng) == [0, 2 * PAGE_2M]
+    assert pt.present_pages(rng) == [PAGE_2M, 3 * PAGE_2M]
+    assert pt.coverage(rng) == (2, 2)
+
+
+def test_pagetable_evict_range():
+    pt = PageTable(PAGE_2M)
+    for i in range(4):
+        pt.install(i * PAGE_2M, i, MapOrigin.BULK_ALLOC)
+    evicted = pt.evict_range(AddressRange(0, 2 * PAGE_2M))
+    assert len(evicted) == 2
+    assert len(pt) == 2
+
+
+def test_pagetable_origin_histogram():
+    pt = PageTable(PAGE_2M)
+    pt.install(0, 0, MapOrigin.XNACK_REPLAY)
+    pt.install(PAGE_2M, 1, MapOrigin.XNACK_REPLAY)
+    pt.install(2 * PAGE_2M, 2, MapOrigin.PREFAULT)
+    hist = pt.origins_histogram()
+    assert hist[MapOrigin.XNACK_REPLAY] == 2
+    assert hist[MapOrigin.PREFAULT] == 1
+
+
+def test_pagetable_page_size_validation():
+    with pytest.raises(ValueError):
+        PageTable(3000)
+
+
+# ---------------------------------------------------------------------------
+# OsAllocator
+# ---------------------------------------------------------------------------
+
+
+def make_alloc(on_unmap=None):
+    mem = PhysicalMemory(total_bytes=64 * PAGE_2M, frame_bytes=PAGE_2M)
+    cpu_pt = PageTable(PAGE_2M, "cpu")
+    return OsAllocator(mem, cpu_pt, on_unmap=on_unmap), mem, cpu_pt
+
+
+def test_os_alloc_populates_cpu_pagetable():
+    alloc, mem, cpu_pt = make_alloc()
+    rng = alloc.alloc(3 * PAGE_2M)
+    assert rng.nbytes == 3 * PAGE_2M
+    assert cpu_pt.coverage(rng) == (3, 0)
+    assert mem.frames_in_use == 3
+
+
+def test_os_alloc_sub_page_rounds_up_frames():
+    alloc, mem, cpu_pt = make_alloc()
+    rng = alloc.alloc(100)
+    assert cpu_pt.coverage(rng) == (1, 0)
+    assert mem.frames_in_use == 1
+
+
+def test_os_alloc_fresh_addresses_never_reused():
+    alloc, _, _ = make_alloc()
+    a = alloc.alloc(PAGE_2M)
+    alloc.free(a)
+    b = alloc.alloc(PAGE_2M)
+    assert b.start != a.start  # retire-on-free: ep re-faults on realloc
+
+
+def test_os_alloc_free_releases_frames_and_ptes():
+    alloc, mem, cpu_pt = make_alloc()
+    rng = alloc.alloc(2 * PAGE_2M)
+    alloc.free(rng)
+    assert mem.frames_in_use == 0
+    assert cpu_pt.coverage(rng) == (0, 2)
+    assert not alloc.is_live(rng)
+
+
+def test_os_alloc_unmap_hook_called_before_frame_release():
+    seen = []
+    alloc, mem, _ = make_alloc(on_unmap=lambda rng: seen.append((rng, mem.frames_in_use)))
+    rng = alloc.alloc(PAGE_2M)
+    alloc.free(rng)
+    assert seen == [(rng, 1)]  # hook saw frames still live
+
+
+def test_os_alloc_stack_region_distinct():
+    alloc, _, _ = make_alloc()
+    heap = alloc.alloc(PAGE_2M, region="heap")
+    stack = alloc.alloc(PAGE_2M, region="stack")
+    assert abs(stack.start - heap.start) > 2**30
+
+
+def test_os_alloc_double_free_rejected():
+    alloc, _, _ = make_alloc()
+    rng = alloc.alloc(PAGE_2M)
+    alloc.free(rng)
+    with pytest.raises(AllocationError):
+        alloc.free(rng)
+
+
+def test_os_alloc_invalid_inputs():
+    alloc, _, _ = make_alloc()
+    with pytest.raises(AllocationError):
+        alloc.alloc(0)
+    with pytest.raises(AllocationError):
+        alloc.alloc(10, region="rodata")
+
+
+def test_os_alloc_live_accounting():
+    alloc, _, _ = make_alloc()
+    a = alloc.alloc(PAGE_2M)
+    b = alloc.alloc(2 * PAGE_2M)
+    assert alloc.live_bytes == 3 * PAGE_2M
+    alloc.free(a)
+    assert alloc.live_ranges() == [b]
+
+
+# ---------------------------------------------------------------------------
+# Buffers
+# ---------------------------------------------------------------------------
+
+
+def test_host_buffer_default_payload_capped():
+    hb = HostBuffer("big", AddressRange(0, 1024 * MIB))
+    assert hb.payload.nbytes <= 4096 * 8
+    assert hb.nbytes == 1024 * MIB
+
+
+def test_host_buffer_payload_must_fit_model():
+    with pytest.raises(ValueError):
+        HostBuffer("tiny", AddressRange(0, 8), payload=np.zeros(100))
+
+
+def test_host_buffer_use_after_free_guard():
+    hb = HostBuffer("x", AddressRange(0, 64))
+    hb.check_alive()
+    hb.freed = True
+    with pytest.raises(RuntimeError):
+        hb.check_alive()
+
+
+def test_device_buffer_mirrors_payload_shape():
+    host = HostBuffer("h", AddressRange(0, 1024), payload=np.arange(16.0))
+    dev = DeviceBuffer(AddressRange(2**40, 1024), host.payload)
+    assert dev.payload.shape == host.payload.shape
+    assert dev.payload.dtype == host.payload.dtype
+    assert not np.shares_memory(dev.payload, host.payload)
+    assert np.all(dev.payload == 0)

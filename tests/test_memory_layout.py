@@ -1,0 +1,103 @@
+"""Unit tests for address-space geometry (repro.memory.layout)."""
+
+import pytest
+
+from repro.memory import (
+    PAGE_2M,
+    PAGE_4K,
+    AddressRange,
+    align_down,
+    align_up,
+    page_base,
+    page_span,
+    pages_in,
+)
+
+
+def test_align_up_basic():
+    assert align_up(0, PAGE_4K) == 0
+    assert align_up(1, PAGE_4K) == PAGE_4K
+    assert align_up(PAGE_4K, PAGE_4K) == PAGE_4K
+    assert align_up(PAGE_4K + 1, PAGE_4K) == 2 * PAGE_4K
+
+
+def test_align_down_basic():
+    assert align_down(0, PAGE_4K) == 0
+    assert align_down(PAGE_4K - 1, PAGE_4K) == 0
+    assert align_down(PAGE_4K, PAGE_4K) == PAGE_4K
+
+
+def test_align_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        align_up(10, 3)
+    with pytest.raises(ValueError):
+        align_down(10, 0)
+
+
+def test_page_base():
+    assert page_base(0x1234, PAGE_4K) == 0x1000
+    assert page_base(PAGE_2M + 5, PAGE_2M) == PAGE_2M
+
+
+def test_page_span_single_page():
+    first, n = page_span(0x1000, 1, PAGE_4K)
+    assert (first, n) == (0x1000, 1)
+
+
+def test_page_span_straddles_boundary():
+    first, n = page_span(PAGE_4K - 1, 2, PAGE_4K)
+    assert first == 0
+    assert n == 2
+
+
+def test_page_span_exact_pages():
+    first, n = page_span(0, 3 * PAGE_2M, PAGE_2M)
+    assert (first, n) == (0, 3)
+
+
+def test_page_span_zero_length():
+    _, n = page_span(0x5000, 0, PAGE_4K)
+    assert n == 0
+
+
+def test_page_span_negative_rejected():
+    with pytest.raises(ValueError):
+        page_span(0, -1, PAGE_4K)
+
+
+def test_pages_in_enumerates_bases():
+    pages = list(pages_in(PAGE_2M + 10, PAGE_2M, PAGE_2M))
+    assert pages == [PAGE_2M, 2 * PAGE_2M]
+
+
+def test_address_range_end_and_contains():
+    r = AddressRange(100, 50)
+    assert r.end == 150
+    assert r.contains(100) and r.contains(149)
+    assert not r.contains(150)
+
+
+def test_address_range_overlaps():
+    a = AddressRange(0, 100)
+    b = AddressRange(99, 10)
+    c = AddressRange(100, 10)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_address_range_contains_range():
+    outer = AddressRange(0, 1000)
+    assert outer.contains_range(AddressRange(10, 100))
+    assert not outer.contains_range(AddressRange(990, 20))
+
+
+def test_address_range_n_pages():
+    r = AddressRange(0, 2 * PAGE_2M + 1)
+    assert r.n_pages(PAGE_2M) == 3
+
+
+def test_address_range_validation():
+    with pytest.raises(ValueError):
+        AddressRange(-1, 10)
+    with pytest.raises(ValueError):
+        AddressRange(0, -10)

@@ -1,0 +1,171 @@
+"""Tests for declare-target global handling per configuration (§IV.B/C)."""
+
+import numpy as np
+import pytest
+
+from conftest import ALL, make_runtime
+
+from repro.core import RuntimeConfig
+from repro.memory import PAGE_2M
+from repro.omp import MapClause, MapKind
+from repro.omp.globals_ import GlobalRegistry, GlobalVar
+from repro.memory.layout import AddressRange
+
+
+# ---------------------------------------------------------------------------
+# GlobalVar unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_global_device_copy_mode():
+    g = GlobalVar("alpha", np.array([1.5]), AddressRange(0x1000, 8))
+    g.materialize_device_copy()
+    assert g.device_view() is g.device_payload
+    assert not np.shares_memory(g.device_view(), g.host_payload)
+
+
+def test_global_usm_pointer_mode_aliases_host():
+    g = GlobalVar("alpha", np.array([1.5]), AddressRange(0x1000, 8))
+    g.materialize_usm_pointer()
+    assert g.device_view() is g.host_payload
+
+
+def test_global_access_before_init_rejected():
+    g = GlobalVar("alpha", np.array([1.5]), AddressRange(0x1000, 8))
+    with pytest.raises(RuntimeError):
+        g.device_view()
+
+
+def test_registry_duplicate_rejected():
+    reg = GlobalRegistry()
+    g = GlobalVar("a", np.array([0.0]), AddressRange(0, 8))
+    reg.register(g)
+    with pytest.raises(ValueError):
+        reg.register(GlobalVar("a", np.array([0.0]), AddressRange(16, 8)))
+    with pytest.raises(KeyError):
+        reg.get("missing")
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the Fig. 2 example program (a[i] += b[i] * alpha)
+# ---------------------------------------------------------------------------
+
+
+def fig2_body(alpha_glob, n=16):
+    def body(th, tid):
+        a = yield from th.alloc("a", PAGE_2M, payload=np.arange(float(n)))
+        b = yield from th.alloc("b", PAGE_2M, payload=np.full(n, 2.0))
+        # map(tofrom: a) map(to: b) map(always, to: alpha)
+        yield from th.update_global(alpha_glob)
+        yield from th.target(
+            "fig2",
+            50.0,
+            maps=[MapClause(a, MapKind.TOFROM), MapClause(b, MapKind.TO)],
+            fn=lambda args, g: args["a"].__iadd__(args["b"] * g["alpha"][0]),
+            globals_used=[alpha_glob],
+        )
+        return a.payload.copy()
+
+    return body
+
+
+@pytest.mark.parametrize("cfg", ALL)
+def test_fig2_program_correct_under_all_configs(cfg):
+    rt = make_runtime(cfg)
+    alpha = rt.declare_target("alpha", np.array([3.0]))
+    alpha.host_payload[0] = 3.0
+    out = {}
+
+    def body(th, tid):
+        out["a"] = yield from fig2_body(alpha)(th, tid)
+
+    rt.run(body)
+    assert np.array_equal(out["a"], np.arange(16.0) + 2.0 * 3.0)
+
+
+def test_global_update_after_host_write_visible_everywhere():
+    """Host writes alpha between kernels; map(always,to) republishes it."""
+    for cfg in ALL:
+        rt = make_runtime(cfg)
+        alpha = rt.declare_target("alpha", np.array([1.0]))
+        seen = []
+
+        def body(th, tid):
+            a = yield from th.alloc("a", PAGE_2M, payload=np.zeros(4))
+            yield from th.target_enter_data([MapClause(a, MapKind.TO)])
+            for v in (1.0, 5.0, 9.0):
+                alpha.host_payload[0] = v
+                yield from th.update_global(alpha)
+                yield from th.target(
+                    "read",
+                    10.0,
+                    maps=[MapClause(a, MapKind.ALLOC)],
+                    fn=lambda args, g: seen.append(g["alpha"][0]),
+                    globals_used=[alpha],
+                )
+            yield from th.target_exit_data([MapClause(a, MapKind.DELETE)])
+
+        rt.run(body)
+        assert seen == [1.0, 5.0, 9.0], cfg
+
+
+def test_usm_global_update_moves_no_data():
+    rt = make_runtime(RuntimeConfig.UNIFIED_SHARED_MEMORY)
+    alpha = rt.declare_target("alpha", np.array([2.0]))
+
+    def body(th, tid):
+        yield from th.update_global(alpha)
+
+    res = rt.run(body)
+    # no transfer traced beyond the 3 init image copies
+    assert res.hsa_trace.count("memory_async_copy") == 3
+    assert res.hsa_trace.count("memory_copy") == 0
+    assert res.ledger.mm_copy_us == 0.0
+
+
+def test_izc_global_update_issues_system_copy():
+    """§IV.C: Implicit Z-C handles globals 'as if operating in Copy mode'."""
+    rt = make_runtime(RuntimeConfig.IMPLICIT_ZERO_COPY)
+    alpha = rt.declare_target("alpha", np.array([2.0]))
+
+    def body(th, tid):
+        yield from th.update_global(alpha)
+
+    res = rt.run(body)
+    assert res.hsa_trace.count("memory_copy") == 1
+    assert res.ledger.mm_copy_us > 0.0
+
+
+def test_copy_global_update_issues_hbm_copy():
+    rt = make_runtime(RuntimeConfig.COPY)
+    alpha = rt.declare_target("alpha", np.array([2.0]))
+
+    def body(th, tid):
+        yield from th.update_global(alpha)
+
+    res = rt.run(body)
+    assert res.hsa_trace.count("memory_async_copy") == 4  # 3 init + 1 global
+
+
+def test_usm_kernel_with_global_pays_indirection_and_fault():
+    rt = make_runtime(RuntimeConfig.UNIFIED_SHARED_MEMORY)
+    alpha = rt.declare_target("alpha", np.array([2.0]))
+
+    def body(th, tid):
+        rec = yield from th.target("k", 10.0, globals_used=[alpha])
+        return rec
+
+    res = rt.run(body)
+    # the host global's page is GPU-touched → one XNACK fault
+    assert res.ledger.n_faulted_pages == 1
+
+
+def test_declare_target_after_init_rejected():
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body(th, tid):
+        yield th.env.timeout(0)
+
+    rt.run(body)
+    with pytest.raises(RuntimeError):
+        rt.declare_target("late", np.array([0.0]))

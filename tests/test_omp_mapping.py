@@ -1,0 +1,122 @@
+"""Unit tests for map kinds and the present table (repro.omp.mapping)."""
+
+import pytest
+
+from repro.memory import AddressRange, HostBuffer
+from repro.omp.mapping import (
+    MapClause,
+    MapKind,
+    MappingError,
+    PresentEntry,
+    PresentTable,
+)
+
+
+def buf(name="b", start=0x1000, nbytes=4096):
+    return HostBuffer(name, AddressRange(start, nbytes))
+
+
+def test_map_kind_transfer_directions():
+    assert MapKind.TO.copies_to_device and not MapKind.TO.copies_to_host
+    assert MapKind.FROM.copies_to_host and not MapKind.FROM.copies_to_device
+    assert MapKind.TOFROM.copies_to_device and MapKind.TOFROM.copies_to_host
+    for k in (MapKind.ALLOC, MapKind.RELEASE, MapKind.DELETE):
+        assert not k.copies_to_device and not k.copies_to_host
+
+
+def test_always_modifier_invalid_on_non_transfer_kinds():
+    b = buf()
+    with pytest.raises(MappingError):
+        MapClause(b, MapKind.ALLOC, always=True)
+    with pytest.raises(MappingError):
+        MapClause(b, MapKind.DELETE, always=True)
+    # valid on transfer kinds
+    MapClause(b, MapKind.TO, always=True)
+
+
+def test_present_table_insert_lookup_remove():
+    t = PresentTable()
+    b = buf()
+    e = PresentEntry(host=b, device=None, refcount=1)
+    t.insert(e)
+    assert t.lookup(b) is e
+    assert t.is_present(b)
+    t.remove(e)
+    assert not t.is_present(b)
+
+
+def test_present_table_duplicate_insert_rejected():
+    t = PresentTable()
+    b = buf()
+    t.insert(PresentEntry(host=b, device=None, refcount=1))
+    with pytest.raises(MappingError):
+        t.insert(PresentEntry(host=b, device=None, refcount=1))
+
+
+def test_present_table_collision_detection():
+    t = PresentTable()
+    b1 = buf("x", start=0x1000)
+    b2 = buf("y", start=0x1000)  # same address, different object
+    t.insert(PresentEntry(host=b1, device=None, refcount=1))
+    with pytest.raises(MappingError):
+        t.lookup(b2)
+
+
+def test_retain_release_refcounting():
+    t = PresentTable()
+    b = buf()
+    e = PresentEntry(host=b, device=None, refcount=1)
+    t.insert(e)
+    assert t.retain(b).refcount == 2
+    assert t.release(b).refcount == 1
+    assert t.release(b).refcount == 0
+
+
+def test_release_delete_forces_zero():
+    t = PresentTable()
+    b = buf()
+    t.insert(PresentEntry(host=b, device=None, refcount=5))
+    assert t.release(b, delete=True).refcount == 0
+
+
+def test_release_underflow_rejected():
+    t = PresentTable()
+    b = buf()
+    t.insert(PresentEntry(host=b, device=None, refcount=0))
+    with pytest.raises(MappingError):
+        t.release(b)
+
+
+def test_retain_absent_rejected():
+    t = PresentTable()
+    with pytest.raises(MappingError):
+        t.retain(buf())
+
+
+def test_remove_unknown_rejected():
+    t = PresentTable()
+    b = buf()
+    e = PresentEntry(host=b, device=None, refcount=0)
+    with pytest.raises(MappingError):
+        t.remove(e)
+
+
+def test_peak_entries_tracked():
+    t = PresentTable()
+    entries = [
+        PresentEntry(host=buf(f"b{i}", start=0x1000 * (i + 1)), device=None, refcount=1)
+        for i in range(3)
+    ]
+    for e in entries:
+        t.insert(e)
+    for e in entries:
+        t.remove(e)
+    assert t.peak_entries == 3
+    assert len(t) == 0
+
+
+def test_total_refcount():
+    t = PresentTable()
+    t.insert(PresentEntry(host=buf("a", 0x1000), device=None, refcount=2))
+    t.insert(PresentEntry(host=buf("b", 0x9000), device=None, refcount=3))
+    assert t.total_refcount() == 5

@@ -1,0 +1,337 @@
+"""Integration tests for the OpenMP runtime across all four configurations."""
+
+import numpy as np
+import pytest
+
+from conftest import ALL, make_runtime, run_single
+
+from repro.core import CostModel, RuntimeConfig
+from repro.memory import MIB, PAGE_2M, MapOrigin
+from repro.omp import MapClause, MapKind, MappingError
+
+
+def axpy_body(nbytes=4 * PAGE_2M, compute_us=100.0, n_kernels=3):
+    """A minimal offload program: y += 2*x, run n_kernels times."""
+
+    def body(th, tid):
+        x = yield from th.alloc("x", nbytes, payload=np.arange(16.0))
+        y = yield from th.alloc("y", nbytes, payload=np.ones(16))
+        yield from th.target_enter_data(
+            [MapClause(x, MapKind.TO), MapClause(y, MapKind.TO)]
+        )
+        for _ in range(n_kernels):
+            yield from th.target(
+                "axpy",
+                compute_us,
+                maps=[MapClause(x, MapKind.ALLOC), MapClause(y, MapKind.ALLOC)],
+                fn=lambda a, g: a["y"].__iadd__(2.0 * a["x"]),
+            )
+        yield from th.target_exit_data(
+            [MapClause(x, MapKind.RELEASE), MapClause(y, MapKind.FROM)]
+        )
+        return y.payload.copy()
+
+    return body
+
+
+# ---------------------------------------------------------------------------
+# functional equivalence — the paper's "all configurations are equivalent
+# from an OpenMP semantics viewpoint" (§IV)
+# ---------------------------------------------------------------------------
+
+
+def test_all_configs_produce_identical_results():
+    results = {}
+    for cfg in ALL:
+        rt = make_runtime(cfg)
+        out = {}
+
+        def body(th, tid, out=out):
+            out["y"] = yield from axpy_body()(th, tid)
+
+        rt.run(body)
+        results[cfg] = out["y"]
+    expected = 1.0 + 3 * 2.0 * np.arange(16.0)
+    for cfg, y in results.items():
+        assert np.array_equal(y, expected), cfg
+
+
+def steady_state_body(nbytes=PAGE_2M, n_kernels=400, compute_us=10.0):
+    """Per-kernel ``always`` transfer traffic: the regime where zero-copy
+    wins (QMCPack steady state, §V.A).  A single bulk transfer plus a few
+    kernels is the regime where Copy wins — see
+    test_one_shot_transfer_program_favors_copy below."""
+
+    def body(th, tid):
+        x = yield from th.alloc(f"x{tid}", nbytes)
+        r = yield from th.alloc(f"r{tid}", nbytes)
+        scratch = yield from th.alloc(f"s{tid}", nbytes)
+        yield from th.target_enter_data(
+            [MapClause(x, MapKind.TO), MapClause(r, MapKind.TO)]
+        )
+        for _ in range(n_kernels):
+            # per-step scratch mapping: device alloc/free every step under
+            # Copy (pool-cache hits), pure bookkeeping under zero-copy
+            yield from th.target_enter_data([MapClause(scratch, MapKind.TO)])
+            yield from th.target(
+                "step",
+                compute_us,
+                maps=[
+                    MapClause(x, MapKind.TO, always=True),
+                    MapClause(r, MapKind.FROM, always=True),
+                    MapClause(scratch, MapKind.ALLOC),
+                ],
+            )
+            yield from th.target_exit_data([MapClause(scratch, MapKind.DELETE)])
+        yield from th.target_exit_data(
+            [MapClause(x, MapKind.DELETE), MapClause(r, MapKind.DELETE)]
+        )
+
+    return body
+
+
+def test_zero_copy_faster_than_copy_on_transfer_heavy_program():
+    times = {}
+    for cfg in ALL:
+        _, res = run_single(cfg, steady_state_body())
+        times[cfg] = res.elapsed_us - res.init_us
+    assert times[RuntimeConfig.IMPLICIT_ZERO_COPY] < times[RuntimeConfig.COPY]
+    assert times[RuntimeConfig.UNIFIED_SHARED_MEMORY] < times[RuntimeConfig.COPY]
+
+
+def test_one_shot_transfer_program_favors_copy():
+    """Bulk transfer + few kernels: first-touch cost makes zero-copy lose
+    slightly — the 403.stencil / 452.ep corner case (§V.B)."""
+    _, res_copy = run_single(RuntimeConfig.COPY, axpy_body(nbytes=64 * MIB))
+    _, res_izc = run_single(
+        RuntimeConfig.IMPLICIT_ZERO_COPY, axpy_body(nbytes=64 * MIB)
+    )
+    t_copy = res_copy.elapsed_us - res_copy.init_us
+    t_izc = res_izc.elapsed_us - res_izc.init_us
+    assert t_copy < t_izc
+
+
+# ---------------------------------------------------------------------------
+# Copy configuration specifics (§IV.A)
+# ---------------------------------------------------------------------------
+
+
+def test_copy_allocates_device_shadow_and_copies():
+    rt, res = run_single(RuntimeConfig.COPY, axpy_body())
+    tr = res.hsa_trace
+    # init: 3 image copies; program: 2 H2D + 1 D2H = 3 more
+    assert tr.count("memory_async_copy") == 6
+    # init allocs (9 + 10 per-thread) + two user buffers
+    assert tr.count("memory_pool_allocate") == 19 + 2
+
+
+def test_copy_duplicates_memory_footprint():
+    """Legacy Copy doubles the footprint of mapped data (§III.B)."""
+    sizes = {}
+    for cfg in (RuntimeConfig.COPY, RuntimeConfig.IMPLICIT_ZERO_COPY):
+        _, res = run_single(cfg, axpy_body(nbytes=256 * MIB))
+        sizes[cfg] = res.peak_hbm_bytes
+    assert sizes[RuntimeConfig.COPY] >= sizes[RuntimeConfig.IMPLICIT_ZERO_COPY] + 2 * 256 * MIB
+
+
+def test_copy_kernels_never_fault():
+    rt, res = run_single(RuntimeConfig.COPY, axpy_body())
+    assert res.ledger.mi_us == 0.0
+    assert res.ledger.n_faulted_pages == 0
+
+
+def test_copy_refcount_last_exit_frees_device_memory():
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])  # ref=2
+        yield from th.target_exit_data([MapClause(x, MapKind.RELEASE)])
+        assert th.rt.table.is_present(x)
+        yield from th.target_exit_data([MapClause(x, MapKind.FROM)])
+        assert not th.rt.table.is_present(x)
+
+    rt, res = run_single(RuntimeConfig.COPY, body)
+    assert res.hsa_trace.count("memory_pool_free") == 1
+
+
+def test_copy_present_reuse_skips_transfer_unless_always():
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        before = th.rt.system.hsa_trace.count("memory_async_copy")
+        # present, no always → no copy
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        mid = th.rt.system.hsa_trace.count("memory_async_copy")
+        # present + always → copy
+        yield from th.target_enter_data([MapClause(x, MapKind.TO, always=True)])
+        after = th.rt.system.hsa_trace.count("memory_async_copy")
+        assert (mid - before, after - mid) == (0, 1)
+        for _ in range(3):
+            yield from th.target_exit_data([MapClause(x, MapKind.RELEASE)])
+
+    run_single(RuntimeConfig.COPY, body)
+
+
+def test_copy_kernel_on_unmapped_buffer_rejected():
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        with pytest.raises(MappingError):
+            yield from th.target("k", 10.0, maps=[MapClause(x, MapKind.ALLOC)])
+
+    # the implicit enter of map(alloc:) creates the entry, so use resolve
+    # directly instead: exercise the internal guard
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body2(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        with pytest.raises(MappingError):
+            th.rt.policy.resolve_kernel_args([MapClause(x, MapKind.ALLOC)])
+        yield th.env.timeout(0)
+
+    rt.run(body2)
+
+
+# ---------------------------------------------------------------------------
+# zero-copy configurations (§IV.B–D)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "cfg",
+    [RuntimeConfig.UNIFIED_SHARED_MEMORY, RuntimeConfig.IMPLICIT_ZERO_COPY],
+)
+def test_zero_copy_maps_do_no_storage_ops(cfg):
+    rt, res = run_single(cfg, axpy_body())
+    tr = res.hsa_trace
+    # only the 3 init-time image transfers (Table I: Implicit Z-C = 3)
+    assert tr.count("memory_async_copy") == 3
+    # only init allocations: 9 runtime + 10 thread
+    assert tr.count("memory_pool_allocate") == 19
+    assert tr.count("signal_async_handler") == 0
+
+
+@pytest.mark.parametrize(
+    "cfg",
+    [RuntimeConfig.UNIFIED_SHARED_MEMORY, RuntimeConfig.IMPLICIT_ZERO_COPY],
+)
+def test_zero_copy_kernels_fault_once_per_page(cfg):
+    rt, res = run_single(cfg, axpy_body(nbytes=4 * PAGE_2M, n_kernels=5))
+    # two 4-page buffers, faulted on the first kernel only
+    assert res.ledger.n_faulted_pages == 8
+    cost = rt.cost
+    assert res.ledger.mi_us == pytest.approx(
+        cost.xnack_kernel_entry_us + 8 * cost.xnack_fault_us_per_page
+    )
+
+
+def test_izc_gpu_pt_entries_via_xnack_origin():
+    rt, res = run_single(RuntimeConfig.IMPLICIT_ZERO_COPY, axpy_body())
+    hist = rt.system.gpu_pt.origins_histogram()
+    assert hist.get(MapOrigin.XNACK_REPLAY, 0) == 8
+
+
+def test_eager_maps_prefaults_instead_of_faulting():
+    rt, res = run_single(RuntimeConfig.EAGER_MAPS, axpy_body(n_kernels=5))
+    assert res.ledger.mi_us == 0.0
+    assert res.ledger.n_faulted_pages == 0
+    assert res.ledger.prefault_us > 0.0
+    # enter-data (2 clauses) + per-target ALLOC maps (2 × 5 kernels) = 12
+    assert res.hsa_trace.count("svm_attributes_set") == 12
+    hist = rt.system.gpu_pt.origins_histogram()
+    assert hist.get(MapOrigin.PREFAULT, 0) == 8
+
+
+def test_eager_maps_runs_with_xnack_disabled():
+    rt, res = run_single(RuntimeConfig.EAGER_MAPS, axpy_body())
+    assert rt.system.driver.xnack_enabled is False
+    assert res.ledger.n_kernels == 3
+
+
+def test_eager_repeat_maps_cost_less_than_first():
+    rt, res = run_single(RuntimeConfig.EAGER_MAPS, axpy_body(n_kernels=5))
+    tr = res.hsa_trace
+    n = tr.count("svm_attributes_set")
+    # mean must be far below the first-map cost: repeats only verify
+    first_cost = rt.cost.syscall_base_us + 4 * rt.cost.prefault_page_us
+    assert tr.total_us("svm_attributes_set") / n < first_cost / 2
+
+
+# ---------------------------------------------------------------------------
+# host memory lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_free_while_mapped_rejected():
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        with pytest.raises(MappingError):
+            yield from th.free(x)
+        yield from th.target_exit_data([MapClause(x, MapKind.RELEASE)])
+        yield from th.free(x)
+
+    run_single(RuntimeConfig.IMPLICIT_ZERO_COPY, body)
+
+
+def test_free_shootdown_forces_refault_next_alloc():
+    """The ep mechanism end-to-end through the OpenMP API."""
+
+    def body(th, tid):
+        total = 0
+        for i in range(3):
+            x = yield from th.alloc(f"x{i}", 2 * PAGE_2M)
+            yield from th.target(
+                "init", 10.0, maps=[MapClause(x, MapKind.TO)]
+            )
+            yield from th.free(x)
+        yield th.env.timeout(0)
+
+    rt, res = run_single(RuntimeConfig.IMPLICIT_ZERO_COPY, body)
+    assert res.ledger.n_faulted_pages == 6  # 2 pages × 3 cycles
+
+
+def test_marks_and_steady_time():
+    def body(th, tid):
+        th.mark("steady_start")
+        yield th.env.timeout(100.0)
+        th.mark("steady_end", first=False)
+
+    rt, res = run_single(RuntimeConfig.COPY, body)
+    assert res.steady_us == pytest.approx(100.0)
+
+
+def test_invalid_thread_count():
+    rt = make_runtime(RuntimeConfig.COPY)
+    with pytest.raises(ValueError):
+        rt.run(lambda th, tid: iter(()), n_threads=0)
+
+
+# ---------------------------------------------------------------------------
+# multi-threaded offloading
+# ---------------------------------------------------------------------------
+
+
+def test_threads_share_device_and_scale_init_allocs():
+    def body(th, tid):
+        x = yield from th.alloc(f"x{tid}", PAGE_2M)
+        yield from th.target("k", 50.0, maps=[MapClause(x, MapKind.TOFROM)])
+        yield from th.free(x)
+
+    rt = make_runtime(RuntimeConfig.IMPLICIT_ZERO_COPY)
+    res = rt.run(body, n_threads=4)
+    # 9 runtime + 4 × 10 per-thread init allocations
+    assert res.hsa_trace.count("memory_pool_allocate") == 49
+    assert res.ledger.n_kernels == 4
+
+
+def test_copy_scales_worse_than_izc_with_threads():
+    """§V.A.2: more threads → more runtime contention for Copy."""
+
+    def steady(cfg, n):
+        rt = make_runtime(cfg)
+        res = rt.run(steady_state_body(n_kernels=300), n_threads=n)
+        return res.elapsed_us - res.init_us
+
+    ratio_1 = steady(RuntimeConfig.COPY, 1) / steady(RuntimeConfig.IMPLICIT_ZERO_COPY, 1)
+    ratio_8 = steady(RuntimeConfig.COPY, 8) / steady(RuntimeConfig.IMPLICIT_ZERO_COPY, 8)
+    assert ratio_8 > ratio_1 > 1.0

@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderer (repro.experiments.plot)."""
+
+import pytest
+
+from repro.experiments import ascii_chart
+
+
+def demo_series():
+    return {
+        "a": [(1, 1.0), (2, 2.0), (4, 3.0)],
+        "b": [(1, 1.5), (2, 1.5), (4, 1.5)],
+    }
+
+
+def test_chart_contains_markers_and_legend():
+    out = ascii_chart(demo_series(), title="T")
+    assert "T" in out
+    assert "o=a" in out and "x=b" in out
+    assert out.count("o") >= 3
+
+
+def test_chart_axis_labels():
+    out = ascii_chart(demo_series(), x_label="threads", y_label="ratio")
+    assert "threads" in out
+    assert "[ratio]" in out
+
+
+def test_chart_x_ticks_present():
+    out = ascii_chart(demo_series())
+    last_lines = out.splitlines()[-2]
+    for tick in ("1", "2", "4"):
+        assert tick in last_lines
+
+
+def test_chart_overlapping_points_marked():
+    series = {"a": [(1, 5.0)], "b": [(1, 5.0)]}
+    out = ascii_chart(series)
+    assert "&" in out
+
+
+def test_chart_y_floor_extends_axis():
+    series = {"a": [(1, 2.0), (2, 3.0)]}
+    out = ascii_chart(series, y_floor=0.0, height=10)
+    first_axis_value = float(out.splitlines()[0].split("|")[0])
+    last_axis_value = float(out.splitlines()[9].split("|")[0])
+    assert last_axis_value < 0.5  # floor pulled the axis down
+
+
+def test_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+
+
+def test_chart_constant_series_does_not_crash():
+    out = ascii_chart({"flat": [(1, 2.0), (2, 2.0)]})
+    assert "o" in out
+
+
+def test_chart_wide_labels_stay_on_canvas():
+    series = {"a": [(2, 1.0), (128, 2.0)]}
+    out = ascii_chart(series, width=30)
+    ticks = out.splitlines()[-2]
+    assert "128" in ticks
+    assert len(ticks) <= 30 + 20

@@ -1,0 +1,81 @@
+"""Property-based tests for the ROCr pool and the memory manager."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CostModel
+from repro.driver import Kfd
+from repro.hsa.memory_pool import MemoryPool
+from repro.memory import GIB, MIB, PAGE_2M, PageTable, PhysicalMemory
+
+
+def make_pool():
+    cost = CostModel()
+    mem = PhysicalMemory(total_bytes=64 * GIB, frame_bytes=PAGE_2M)
+    cpu_pt = PageTable(PAGE_2M, "cpu")
+    gpu_pt = PageTable(PAGE_2M, "gpu")
+    kfd = Kfd(cost, mem, cpu_pt, gpu_pt)
+    return cost, MemoryPool(cost, kfd), mem, gpu_pt
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 64)), min_size=1,
+                max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_pool_alloc_free_invariants(ops):
+    """Random alloc/free sequences: no leaks, no double-handouts, GPU
+    page-table entries exactly cover live + retained memory."""
+    cost, pool, mem, gpu_pt = make_pool()
+    live = []
+    for is_alloc, size_mib in ops:
+        nbytes = size_mib * MIB
+        if is_alloc or not live:
+            rng, dur, cached = pool.allocate(nbytes)
+            assert dur > 0
+            for other in live:
+                assert not rng.overlaps(other)
+            live.append(rng)
+        else:
+            pool.free(live.pop())
+        # frames in use == live backing + retained bytes, in pages
+        expected_pages = (
+            sum((r.nbytes + PAGE_2M - 1) // PAGE_2M for r in live)
+            + pool.bytes_retained // PAGE_2M
+        )
+        assert mem.frames_in_use == expected_pages
+        assert len(gpu_pt) == expected_pages
+    for rng in live:
+        pool.free(rng)
+    pool.drain()
+    assert mem.frames_in_use == 0
+    assert len(gpu_pt) == 0
+
+
+@given(st.integers(1, 512))
+@settings(max_examples=30, deadline=None)
+def test_pool_retention_depends_only_on_threshold(size_mib):
+    cost, pool, mem, _ = make_pool()
+    nbytes = size_mib * MIB
+    rng, _, _ = pool.allocate(nbytes)
+    pool.free(rng)
+    backing = ((nbytes + PAGE_2M - 1) // PAGE_2M) * PAGE_2M
+    if backing <= cost.pool_retain_max_bytes:
+        assert pool.bytes_retained == backing
+        assert mem.frames_in_use == backing // PAGE_2M
+    else:
+        assert pool.bytes_retained == 0
+        assert mem.frames_in_use == 0
+
+
+@given(st.integers(1, 32), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_pool_cache_hit_returns_same_backing(size_mib, cycles):
+    _, pool, _, _ = make_pool()
+    nbytes = size_mib * MIB
+    starts = set()
+    for _ in range(cycles):
+        rng, _, _ = pool.allocate(nbytes)
+        starts.add(rng.start)
+        pool.free(rng)
+    assert len(starts) == 1  # retained block reused exactly
+    assert pool.cache_hits == cycles - 1

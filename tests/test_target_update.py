@@ -1,0 +1,130 @@
+"""Tests for ``target update`` motion clauses (repro.omp.api.target_update)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_runtime
+
+from repro.core import RuntimeConfig
+from repro.memory import PAGE_2M
+from repro.omp import MapClause, MapKind
+
+ALL = [
+    RuntimeConfig.COPY,
+    RuntimeConfig.UNIFIED_SHARED_MEMORY,
+    RuntimeConfig.IMPLICIT_ZERO_COPY,
+    RuntimeConfig.EAGER_MAPS,
+]
+
+
+def test_update_to_refreshes_device_copy():
+    """Host writes between kernels become visible via update-to — under
+    every configuration."""
+    for cfg in ALL:
+        rt = make_runtime(cfg)
+        seen = []
+
+        def body(th, tid):
+            x = yield from th.alloc("x", PAGE_2M, payload=np.zeros(4))
+            yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+            for v in (1.0, 2.0, 3.0):
+                x.payload[:] = v  # host-side write
+                yield from th.target_update(to=[x])
+                yield from th.target(
+                    "read", 10.0,
+                    maps=[MapClause(x, MapKind.ALLOC)],
+                    fn=lambda a, g: seen.append(float(a["x"][0])),
+                )
+            yield from th.target_exit_data([MapClause(x, MapKind.DELETE)])
+
+        rt.run(body)
+        assert seen == [1.0, 2.0, 3.0], cfg
+        seen.clear()
+
+
+def test_update_from_publishes_device_writes():
+    for cfg in ALL:
+        rt = make_runtime(cfg)
+        observed = {}
+
+        def body(th, tid):
+            x = yield from th.alloc("x", PAGE_2M, payload=np.zeros(4))
+            yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+            yield from th.target(
+                "write", 10.0,
+                maps=[MapClause(x, MapKind.ALLOC)],
+                fn=lambda a, g: a["x"].__iadd__(7.0),
+            )
+            yield from th.target_update(from_=[x])
+            observed["mid"] = x.payload.copy()
+            yield from th.target_exit_data([MapClause(x, MapKind.RELEASE)])
+
+        rt.run(body)
+        assert np.all(observed["mid"] == 7.0), cfg
+
+
+def test_update_moves_no_refcounts():
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        before = th.rt.table.lookup(x).refcount
+        yield from th.target_update(to=[x], from_=[x])
+        assert th.rt.table.lookup(x).refcount == before
+        yield from th.target_exit_data([MapClause(x, MapKind.DELETE)])
+
+    rt.run(body)
+
+
+def test_update_of_absent_range_is_noop():
+    for cfg in (RuntimeConfig.COPY, RuntimeConfig.IMPLICIT_ZERO_COPY):
+        rt = make_runtime(cfg)
+
+        def body(th, tid):
+            x = yield from th.alloc("x", PAGE_2M, payload=np.ones(4))
+            yield from th.target_update(to=[x], from_=[x])  # not mapped: no-op
+
+        res = rt.run(body)
+        assert res.hsa_trace.count("memory_async_copy") == 3  # init only
+
+
+def test_zero_copy_update_moves_no_data():
+    rt = make_runtime(RuntimeConfig.IMPLICIT_ZERO_COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        for _ in range(10):
+            yield from th.target_update(to=[x])
+        yield from th.target_exit_data([MapClause(x, MapKind.DELETE)])
+
+    res = rt.run(body)
+    assert res.hsa_trace.count("memory_async_copy") == 3
+    assert res.ledger.mm_copy_us == 0.0
+
+
+def test_copy_update_traced_per_direction():
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.target_enter_data([MapClause(x, MapKind.TO)])
+        yield from th.target_update(to=[x], from_=[x])
+        yield from th.target_exit_data([MapClause(x, MapKind.DELETE)])
+
+    res = rt.run(body)
+    # 3 init + 1 enter-to + update-to + update-from
+    assert res.hsa_trace.count("memory_async_copy") == 6
+
+
+def test_update_on_freed_buffer_rejected():
+    rt = make_runtime(RuntimeConfig.COPY)
+
+    def body(th, tid):
+        x = yield from th.alloc("x", PAGE_2M)
+        yield from th.free(x)
+        with pytest.raises(RuntimeError, match="use-after-free"):
+            yield from th.target_update(to=[x])
+
+    rt.run(body)

@@ -1,0 +1,192 @@
+"""Unit tests for statistics and trace analysis (repro.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    HsaTrace,
+    RepetitionStats,
+    RunLedger,
+    cov,
+    hsa_call_comparison,
+    median,
+    order_of_magnitude,
+    overhead_decomposition,
+)
+from repro.trace.kernel_trace import KernelTrace
+from repro.hsa.api import KernelRecord
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+
+def test_median_empty_rejected():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_cov_basic():
+    vals = [10.0, 12.0, 8.0, 10.0]
+    expected = np.std(vals, ddof=1) / np.mean(vals)
+    assert cov(vals) == pytest.approx(expected)
+
+
+def test_cov_constant_is_zero():
+    assert cov([5.0, 5.0, 5.0]) == 0.0
+
+
+def test_cov_single_sample_is_zero():
+    assert cov([42.0]) == 0.0
+
+
+def test_cov_zero_mean_rejected():
+    with pytest.raises(ValueError):
+        cov([0.0, 0.0])
+
+
+def test_order_of_magnitude_rendering():
+    assert order_of_magnitude(0.0) == "O(0)"
+    assert order_of_magnitude(3.5e5) == "O(10^5)"
+    assert order_of_magnitude(2.0e6) == "O(10^6)"
+    assert order_of_magnitude(9.99e4) == "O(10^4)"
+
+
+def test_repetition_stats():
+    s = RepetitionStats.from_values([4.0, 2.0, 6.0, 8.0])
+    assert s.n == 4
+    assert s.median == 5.0
+    assert s.min == 2.0 and s.max == 8.0
+    other = RepetitionStats.from_values([1.0, 1.0, 1.0])
+    assert s.ratio_of_medians(other) == 5.0
+
+
+def test_repetition_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        RepetitionStats.from_values([])
+
+
+# ---------------------------------------------------------------------------
+# HsaTrace
+# ---------------------------------------------------------------------------
+
+
+def test_hsa_trace_aggregation():
+    t = HsaTrace()
+    t.record("memory_async_copy", 0.0, 10.0)
+    t.record("memory_async_copy", 5.0, 20.0)
+    assert t.count("memory_async_copy") == 2
+    assert t.total_us("memory_async_copy") == 30.0
+    assert t.stats["memory_async_copy"].mean_us == 15.0
+
+
+def test_hsa_trace_latency_ratio_na():
+    a, b = HsaTrace(), HsaTrace()
+    a.record("signal_async_handler", 0.0, 5.0)
+    assert a.latency_ratio(b, "signal_async_handler") is None
+    b.record("signal_async_handler", 0.0, 2.5)
+    assert a.latency_ratio(b, "signal_async_handler") == 2.0
+
+
+def test_hsa_trace_merge():
+    a, b = HsaTrace(), HsaTrace()
+    a.record("x", 0.0, 1.0)
+    b.record("x", 0.0, 2.0)
+    b.record("y", 0.0, 3.0)
+    m = a.merge(b)
+    assert m.count("x") == 2 and m.total_us("x") == 3.0
+    assert m.count("y") == 1
+
+
+def test_hsa_trace_detailed_mode_keeps_events():
+    t = HsaTrace(detailed=True)
+    t.record("x", 1.0, 2.0, tag="first")
+    assert len(t.events) == 1
+    assert t.events[0].tag == "first"
+
+
+def test_hsa_trace_rows_sorted_by_total():
+    t = HsaTrace()
+    t.record("small", 0.0, 1.0)
+    t.record("big", 0.0, 100.0)
+    rows = t.as_rows()
+    assert rows[0][0] == "big"
+
+
+# ---------------------------------------------------------------------------
+# analysis
+# ---------------------------------------------------------------------------
+
+
+def test_hsa_call_comparison_table1_shape():
+    copy, izc = HsaTrace(), HsaTrace()
+    for _ in range(100):
+        copy.record("memory_async_copy", 0.0, 3.0)
+    for _ in range(3):
+        izc.record("memory_async_copy", 0.0, 0.1)
+    rows = hsa_call_comparison(copy, izc)
+    by_call = {r.call: r for r in rows}
+    r = by_call["memory_async_copy"]
+    assert (r.count_a, r.count_b) == (100, 3)
+    assert r.latency_ratio == pytest.approx(1000.0)
+    # calls nobody issued show as N/A
+    assert by_call["signal_async_handler"].latency_ratio is None
+    assert by_call["signal_async_handler"].ratio_str() == "N/A"
+
+
+def test_ratio_str_formats():
+    copy, izc = HsaTrace(), HsaTrace()
+    copy.record("memory_async_copy", 0.0, 1.11e4)
+    izc.record("memory_async_copy", 0.0, 1.0)
+    row = hsa_call_comparison(copy, izc)[2]
+    assert "e" in row.ratio_str() or "E" in row.ratio_str()
+
+
+def test_overhead_decomposition_magnitudes():
+    led = RunLedger()
+    led.mm_alloc_us = 2.5e5
+    led.mi_us = 0.0
+    row = overhead_decomposition("Copy", led)
+    assert row.mm_magnitude == "O(10^5)"
+    assert row.mi_magnitude == "O(0)"
+
+
+def test_ledger_mm_includes_prefault():
+    led = RunLedger()
+    led.mm_copy_us = 100.0
+    led.prefault_us = 50.0
+    assert led.mm_us == 150.0
+
+
+def test_ledger_merge():
+    a, b = RunLedger(), RunLedger()
+    a.mi_us, b.mi_us = 1.0, 2.0
+    a.n_kernels, b.n_kernels = 3, 4
+    m = a.merge(b)
+    assert m.mi_us == 3.0 and m.n_kernels == 7
+
+
+def test_kernel_trace_cap_and_first_n():
+    kt = KernelTrace(enabled=True, max_records=2)
+
+    def rec(stall):
+        return KernelRecord("k", 0.0, 0.0, 1.0, 1.0, stall, 1)
+
+    for stall in (10.0, 20.0, 30.0):
+        kt.record(rec(stall))
+    assert len(kt) == 2
+    assert kt.dropped == 1
+    assert kt.total_fault_stall_us(first_n=1) == 10.0
+    assert kt.total_fault_stall_us() == 30.0
+
+
+def test_kernel_trace_disabled_records_nothing():
+    kt = KernelTrace(enabled=False)
+    kt.record(KernelRecord("k", 0.0, 0.0, 1.0, 1.0, 0.0, 0))
+    assert len(kt) == 0

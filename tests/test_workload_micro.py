@@ -1,0 +1,163 @@
+"""Tests for the mechanism-isolating microbenchmarks (repro.workloads.micro)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApuSystem, CostModel, RuntimeConfig
+from repro.experiments import execute
+from repro.memory import GIB, MIB
+from repro.omp import OpenMPRuntime
+from repro.workloads import (
+    AllocChurn,
+    Fidelity,
+    FirstTouchSweep,
+    GlobalBroadcast,
+    TriadStream,
+)
+
+ALL = [
+    RuntimeConfig.COPY,
+    RuntimeConfig.UNIFIED_SHARED_MEMORY,
+    RuntimeConfig.IMPLICIT_ZERO_COPY,
+    RuntimeConfig.EAGER_MAPS,
+]
+
+
+# ---------------------------------------------------------------------------
+# TriadStream
+# ---------------------------------------------------------------------------
+
+
+def test_triad_functional_equivalence():
+    outs = {}
+    for cfg in ALL:
+        wl = TriadStream(fidelity=Fidelity.TEST)
+        execute(wl, cfg)
+        outs[cfg] = wl.outputs.get("c0")
+    expected = np.arange(32.0) + 2.0
+    for cfg, c in outs.items():
+        assert np.array_equal(c, expected), cfg
+
+
+def test_triad_zero_copy_wins_steady_state():
+    t = {}
+    for cfg in (RuntimeConfig.COPY, RuntimeConfig.IMPLICIT_ZERO_COPY):
+        wl = TriadStream(fidelity=Fidelity.BENCH)
+        t[cfg] = execute(wl, cfg).steady_us
+    assert t[RuntimeConfig.COPY] > t[RuntimeConfig.IMPLICIT_ZERO_COPY]
+
+
+def test_triad_multithreaded_equivalence():
+    for cfg in (RuntimeConfig.COPY, RuntimeConfig.EAGER_MAPS):
+        wl = TriadStream(fidelity=Fidelity.TEST, n_threads=4)
+        execute(wl, cfg)
+        for tid in range(4):
+            assert np.array_equal(
+                wl.outputs.get(f"c{tid}"), np.arange(32.0) + 2.0
+            ), (cfg, tid)
+
+
+# ---------------------------------------------------------------------------
+# FirstTouchSweep — the per-page cost hierarchy
+# ---------------------------------------------------------------------------
+
+
+def test_first_touch_fault_counts_by_config():
+    cost = CostModel()
+    nbytes = 64 * MIB
+    pages = nbytes // cost.page_size
+    faults = {}
+    for cfg in ALL:
+        wl = FirstTouchSweep(nbytes=nbytes)
+        execute(wl, cfg)
+        faults[cfg] = wl.outputs.get("n_faults")
+    assert faults[RuntimeConfig.COPY] == 0           # bulk-mapped at alloc
+    assert faults[RuntimeConfig.EAGER_MAPS] == 0     # prefaulted
+    assert faults[RuntimeConfig.IMPLICIT_ZERO_COPY] == pages
+    assert faults[RuntimeConfig.UNIFIED_SHARED_MEMORY] == pages
+
+
+def test_first_touch_cost_hierarchy():
+    """XNACK replay per page ≫ pool bulk-map ≫ prefault verification."""
+    cost = CostModel()
+    assert cost.xnack_fault_us_per_page > 3 * cost.pool_alloc_page_us
+    assert cost.pool_alloc_page_us > 3 * cost.prefault_page_us
+    assert cost.prefault_page_us > 100 * cost.prefault_verify_page_us
+
+
+def test_first_touch_stall_scales_with_size():
+    stalls = []
+    for nbytes in (64 * MIB, 256 * MIB):
+        wl = FirstTouchSweep(nbytes=nbytes)
+        execute(wl, RuntimeConfig.IMPLICIT_ZERO_COPY)
+        stalls.append(wl.outputs.get("fault_stall_us"))
+    assert stalls[1] == pytest.approx(4 * stalls[0], rel=0.05)
+
+
+def test_first_touch_functional_result():
+    for cfg in ALL:
+        wl = FirstTouchSweep(nbytes=8 * MIB)
+        execute(wl, cfg)
+        assert np.all(wl.outputs.get("data") == 1.0), cfg
+
+
+# ---------------------------------------------------------------------------
+# GlobalBroadcast — where USM and Implicit Z-C genuinely differ
+# ---------------------------------------------------------------------------
+
+
+def test_global_broadcast_equivalence():
+    accs = {}
+    for cfg in ALL:
+        wl = GlobalBroadcast(fidelity=Fidelity.TEST)
+        execute(wl, cfg)
+        accs[cfg] = wl.outputs.get("acc")
+    vals = set(accs.values())
+    assert len(vals) == 1, accs
+
+
+def test_usm_faster_than_izc_with_global_traffic():
+    """USM's pointer globals skip the per-update transfer Implicit Z-C
+    pays (§IV.C) — the one workload where the two configs diverge."""
+    wl_usm = GlobalBroadcast(fidelity=Fidelity.BENCH)
+    t_usm = execute(wl_usm, RuntimeConfig.UNIFIED_SHARED_MEMORY).steady_us
+    wl_izc = GlobalBroadcast(fidelity=Fidelity.BENCH)
+    t_izc = execute(wl_izc, RuntimeConfig.IMPLICIT_ZERO_COPY).steady_us
+    assert t_usm < t_izc
+
+
+def test_izc_global_updates_traced_as_system_copies():
+    wl = GlobalBroadcast(fidelity=Fidelity.TEST)
+    res = execute(wl, RuntimeConfig.IMPLICIT_ZERO_COPY)
+    assert res.hsa_trace.count("memory_copy") == wl.iters
+
+
+# ---------------------------------------------------------------------------
+# AllocChurn — the pool-retention cliff
+# ---------------------------------------------------------------------------
+
+
+def test_alloc_churn_retention_cliff():
+    """Cycling a small block is cheap (pool cache); cycling a GB-scale
+    block pays full driver work every cycle (the spC/bt mechanism)."""
+    cost = CostModel()
+    small = AllocChurn(nbytes=64 * MIB, cycles=10)
+    execute(small, RuntimeConfig.COPY)
+    big = AllocChurn(nbytes=cost.pool_retain_max_bytes + 2 * MIB, cycles=10)
+    execute(big, RuntimeConfig.COPY)
+    small_us = small.outputs.get("steady_cycle_us")
+    big_us = big.outputs.get("steady_cycle_us")
+    # way beyond the size ratio (~8×): the cliff, not linear scaling
+    assert big_us > 50 * small_us
+
+
+def test_alloc_churn_zero_copy_flat_in_size():
+    """Under zero-copy the same churn is bookkeeping only, so cycle cost
+    is (nearly) independent of the block size."""
+    small = AllocChurn(nbytes=64 * MIB, cycles=10)
+    execute(small, RuntimeConfig.IMPLICIT_ZERO_COPY)
+    big = AllocChurn(nbytes=GIB, cycles=10)
+    execute(big, RuntimeConfig.IMPLICIT_ZERO_COPY)
+    assert big.outputs.get("steady_cycle_us") == pytest.approx(
+        small.outputs.get("steady_cycle_us"), rel=0.05
+    )

@@ -1,0 +1,196 @@
+"""Tests for the QMCPack NiO proxy (repro.workloads.qmcpack)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RuntimeConfig
+from repro.experiments import execute
+from repro.workloads import Fidelity, QmcPackNio, nio_parameters
+from repro.workloads.qmcpack import (
+    BATCH_ALLOCS_PER_STEP,
+    KERNELS_PER_STEP,
+    NIO_SIZES,
+    WALKERS,
+)
+
+ALL = [
+    RuntimeConfig.COPY,
+    RuntimeConfig.UNIFIED_SHARED_MEMORY,
+    RuntimeConfig.IMPLICIT_ZERO_COPY,
+    RuntimeConfig.EAGER_MAPS,
+]
+
+
+# ---------------------------------------------------------------------------
+# sizing model
+# ---------------------------------------------------------------------------
+
+
+def test_parameters_reject_unknown_size():
+    with pytest.raises(ValueError):
+        nio_parameters(3, 1, Fidelity.TEST)
+
+
+def test_parameters_reject_bad_threads():
+    with pytest.raises(ValueError):
+        nio_parameters(2, 0, Fidelity.TEST)
+    with pytest.raises(ValueError):
+        nio_parameters(2, WALKERS + 1, Fidelity.TEST)
+
+
+def test_parameters_scale_with_size():
+    small = nio_parameters(2, 1, Fidelity.TEST)
+    large = nio_parameters(128, 1, Fidelity.TEST)
+    assert large.spline_bytes > small.spline_bytes
+    assert large.kernel_compute_us > 10 * small.kernel_compute_us
+    assert large.param_bytes > small.param_bytes
+
+
+def test_kernel_time_scaling_matches_paper():
+    """§V.A.3: total kernel time grows ×10 from S2 to S24."""
+    s2 = nio_parameters(2, 1, Fidelity.TEST).kernel_compute_us
+    s24 = nio_parameters(24, 1, Fidelity.TEST).kernel_compute_us
+    assert 9.0 < s24 / s2 < 12.5
+
+
+def test_crowds_split_walkers():
+    p1 = nio_parameters(2, 1, Fidelity.TEST)
+    p8 = nio_parameters(2, 8, Fidelity.TEST)
+    assert p1.walkers_per_thread == WALKERS
+    assert p8.walkers_per_thread == WALKERS // 8
+    # per-kernel compute shrinks with the crowd
+    assert p8.kernel_compute_us < p1.kernel_compute_us
+
+
+def test_all_nio_sizes_build():
+    for s in NIO_SIZES:
+        p = nio_parameters(s, 4, Fidelity.TEST)
+        assert p.steps >= 2
+
+
+# ---------------------------------------------------------------------------
+# functional equivalence + structure
+# ---------------------------------------------------------------------------
+
+
+def run(cfg, size=2, threads=1, fidelity=Fidelity.TEST):
+    wl = QmcPackNio(size=size, n_threads=threads, fidelity=fidelity)
+    res = execute(wl, cfg)
+    return wl, res
+
+
+def test_functional_equivalence_across_configs_single_thread():
+    outs = {}
+    for cfg in ALL:
+        wl, _ = run(cfg)
+        outs[cfg] = wl.outputs.values
+    ref = outs[RuntimeConfig.COPY]
+    for cfg, vals in outs.items():
+        assert vals.keys() == ref.keys()
+        for k in ref:
+            assert np.array_equal(np.asarray(vals[k]), np.asarray(ref[k])), (cfg, k)
+
+
+def test_functional_equivalence_multithreaded():
+    outs = {}
+    for cfg in (RuntimeConfig.COPY, RuntimeConfig.IMPLICIT_ZERO_COPY):
+        wl, _ = run(cfg, threads=4)
+        outs[cfg] = wl.outputs.values
+    ref, other = outs.values()
+    for k in ref:
+        assert np.array_equal(np.asarray(ref[k]), np.asarray(other[k])), k
+
+
+def test_izc_trace_structure_matches_table1():
+    """Implicit Z-C: 3 copies (init images), 19 init allocations, one
+    signal wait per kernel, no async handlers (Table I)."""
+    wl, res = run(RuntimeConfig.IMPLICIT_ZERO_COPY)
+    tr = res.hsa_trace
+    n_kernels = res.ledger.n_kernels
+    assert tr.count("memory_async_copy") == 3
+    assert tr.count("memory_pool_allocate") == 19
+    assert tr.count("signal_async_handler") == 0
+    assert tr.count("signal_wait_scacquire") == n_kernels + 1  # +1 init barrier
+
+
+def test_copy_trace_structure_matches_table1():
+    """Copy: ~3 copies + ~3 signal waits per kernel; handlers ≈ 2/kernel;
+    pool allocations ≈ one per step batch-alloc (Table I relationships)."""
+    wl, res = run(RuntimeConfig.COPY)
+    tr = res.hsa_trace
+    n_kernels = res.ledger.n_kernels
+    steps = wl.params.steps
+    copies = tr.count("memory_async_copy")
+    handlers = tr.count("signal_async_handler")
+    waits = tr.count("signal_wait_scacquire")
+    allocs = tr.count("memory_pool_allocate")
+    # 2 H2D + 1 D2H per kernel plus per-step scratch H2D
+    assert copies == pytest.approx(3 * n_kernels + steps * BATCH_ALLOCS_PER_STEP, rel=0.1)
+    # handlers ≈ 2/3 of copies (paper: 194,848 / 307,607 ≈ 0.63)
+    assert 0.55 < handlers / copies < 0.72
+    assert waits > 3 * n_kernels
+    assert allocs == pytest.approx(steps * BATCH_ALLOCS_PER_STEP + 21, rel=0.1)
+
+
+def test_kernel_count_scales_with_threads():
+    """Table I: Implicit Z-C signal waits grow ~linearly with threads."""
+    _, res1 = run(RuntimeConfig.IMPLICIT_ZERO_COPY, threads=1)
+    _, res4 = run(RuntimeConfig.IMPLICIT_ZERO_COPY, threads=4)
+    assert res4.ledger.n_kernels == 4 * res1.ledger.n_kernels
+
+
+def test_eager_svm_calls_per_map():
+    wl, res = run(RuntimeConfig.EAGER_MAPS)
+    # every map-enter issues one svm_attributes_set
+    assert res.hsa_trace.count("svm_attributes_set") == res.ledger.n_map_enters
+
+
+def test_steady_ratio_stable_across_fidelity():
+    """Ratios must not depend on the fidelity knob (warmup exclusion)."""
+
+    def ratio(fidelity):
+        _, rc = run(RuntimeConfig.COPY, fidelity=fidelity)
+        _, ri = run(RuntimeConfig.IMPLICIT_ZERO_COPY, fidelity=fidelity)
+        return rc.steady_us / ri.steady_us
+
+    r_test, r_bench = ratio(Fidelity.TEST), ratio(Fidelity.BENCH)
+    assert r_test == pytest.approx(r_bench, rel=0.06)
+
+
+def test_fig3_direction_thread_scaling():
+    """The central QMCPack result: ratio grows with thread count."""
+
+    def ratio(threads):
+        _, rc = run(RuntimeConfig.COPY, threads=threads)
+        _, ri = run(RuntimeConfig.IMPLICIT_ZERO_COPY, threads=threads)
+        return rc.steady_us / ri.steady_us
+
+    r1, r8 = ratio(1), ratio(8)
+    assert r8 > r1 > 1.0
+
+
+def test_fig4_direction_size_scaling():
+    """Fig. 4: the zero-copy advantage shrinks with problem size."""
+
+    def ratio(size):
+        _, rc = run(RuntimeConfig.COPY, size=size, threads=8)
+        _, ri = run(RuntimeConfig.IMPLICIT_ZERO_COPY, size=size, threads=8)
+        return rc.steady_us / ri.steady_us
+
+    assert ratio(2) > ratio(32) > 1.0
+
+
+def test_eager_below_izc_at_small_sizes():
+    """§V.A.4: Eager Maps trails the other zero-copy configs below S128."""
+    _, rc = run(RuntimeConfig.COPY, threads=4)
+    _, ri = run(RuntimeConfig.IMPLICIT_ZERO_COPY, threads=4)
+    _, re_ = run(RuntimeConfig.EAGER_MAPS, threads=4)
+    assert rc.steady_us / ri.steady_us > rc.steady_us / re_.steady_us
+
+
+def test_usm_equals_izc_no_globals():
+    """§V.A.2: QMCPack uses no globals, so USM ≡ Implicit Z-C exactly."""
+    _, r_usm = run(RuntimeConfig.UNIFIED_SHARED_MEMORY)
+    _, r_izc = run(RuntimeConfig.IMPLICIT_ZERO_COPY)
+    assert r_usm.steady_us == pytest.approx(r_izc.steady_us, rel=1e-9)
+    assert r_usm.elapsed_us == pytest.approx(r_izc.elapsed_us, rel=1e-9)
