@@ -4,9 +4,14 @@
 The paper's second research question (§V): "Do I have to rewrite or
 re-optimize/tune my application when moving to an APU?"  This example
 shows how to answer it for an application you characterize yourself:
-describe your app's offload pattern, and the advisor simulates it under
-every runtime configuration and reports which one wins and what the
-dominant overhead is.
+describe your app's offload pattern, and the advisor
+
+1. runs **MapCheck** (``repro.check``) over the profile — the mapping
+   sanitizer + portability lint — and reports any defect that would make
+   the answer configuration-dependent (a program that only works because
+   XNACK papers over a missing map clause ports *from* the APU badly);
+2. simulates the profile under every runtime configuration and reports
+   which one wins and what the dominant overhead is.
 
 Three canned profiles are analyzed (a streaming solver, an
 allocation-churning solver, and a first-touch-heavy Monte Carlo code);
@@ -20,8 +25,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import ALL_CONFIGS, MapClause, MapKind, RuntimeConfig
+from repro.check import check_workload
 from repro.experiments import execute
-from repro.memory import GIB, KIB, MIB
+from repro.memory import GIB, KIB
 from repro.workloads.base import Fidelity, Workload
 
 
@@ -55,6 +61,7 @@ class ProfiledApp(Workload):
 
     def make_body(self):
         p = self.profile
+        outputs = self.outputs
 
         def body(th, tid):
             data = yield from th.alloc("data", p.working_set_bytes,
@@ -76,6 +83,7 @@ class ProfiledApp(Workload):
                     fn=lambda a, g: a["data"].__iadd__(g_scale(a)),
                 )
             yield from th.target_exit_data([MapClause(data, MapKind.FROM)])
+            outputs.put("data", data.payload.copy())
 
         def g_scale(a):
             return a["par"][0] * 0.001
@@ -83,8 +91,34 @@ class ProfiledApp(Workload):
         return body
 
 
+def lint_profile(profile: AppProfile) -> bool:
+    """MapCheck pass: is the profile's mapping portable at all?
+
+    The differential runs are skipped (``cross_check=False``) because the
+    advisor itself runs all four configurations right after — the timing
+    table doubles as the confirmation evidence.
+    """
+    report = check_workload(
+        lambda: ProfiledApp(profile), profile.name, cross_check=False
+    )
+    if report.ok:
+        print("  mapcheck: clean — the timing comparison below is "
+              "apples-to-apples")
+        return True
+    print(f"  mapcheck: {len(report.findings)} finding(s) — fix these "
+          "BEFORE trusting any timing comparison:")
+    for f in report.sorted_findings():
+        broken = ", ".join(c.label for c in f.breaks_under) or "none"
+        print(f"    [{f.severity.value}] {f.rule_id} {f.rule.title} "
+              f"({f.buffer}): breaks under {broken}")
+    if report.aborted:
+        print(f"    instrumented run aborted: {report.aborted}")
+    return False
+
+
 def advise(profile: AppProfile) -> None:
     print(f"\n=== {profile.name} ===")
+    portable = lint_profile(profile)
     times = {}
     details = {}
     for config in ALL_CONFIGS:
@@ -104,7 +138,11 @@ def advise(profile: AppProfile) -> None:
             f"{led.mm_us / 1e6:>9.2f}{led.mi_us / 1e6:>9.2f}{marker}"
         )
     led = details[best]
-    if best is RuntimeConfig.COPY:
+    if not portable:
+        print("  advice: resolve the MapCheck findings first — a mapping")
+        print("  defect makes per-configuration timings incomparable (the")
+        print("  configs are not computing the same thing).")
+    elif best is RuntimeConfig.COPY:
         print("  advice: keep Copy semantics OR prefer Eager Maps — your app")
         print("  first-touches big memory on the GPU; plain zero-copy will")
         print("  absorb XNACK replay in your kernels.")

@@ -1,0 +1,56 @@
+"""MapCheck: mapping sanitizer + portability lint for OpenMP offload.
+
+Three cooperating analyses over one instrumented (recorded) run:
+
+* **portability lint** (``lint``) — declared map clauses vs the dynamic
+  access record: missing maps, discarded device writes, stale globals;
+* **mapping sanitizer** (``sanitizer``) — present-table invariants:
+  refcount underflow, leaks at teardown, double unmap, use-after-unmap
+  kernel arguments, ``always`` misuse;
+* **trace race detector** (``races``) — conflicting concurrent map
+  operations and host-write-vs-kernel-read overlaps in the DES trace.
+
+Entry points: :func:`check_workload` / :func:`check_named` /
+:func:`check_all`, surfaced on the CLI as ``python -m repro check``.
+"""
+
+from .events import CheckRecorder, buffer_key, instrument, payload_hash
+from .findings import (
+    RULES,
+    Analysis,
+    CheckReport,
+    Finding,
+    Rule,
+    Severity,
+    merge_reports,
+    render_rule_table,
+)
+from .lint import run_lint
+from .races import run_races
+from .registry import WORKLOADS, make_workload, workload_names
+from .runner import check_all, check_named, check_workload
+from .sanitizer import run_sanitizer
+
+__all__ = [
+    "Analysis",
+    "CheckRecorder",
+    "CheckReport",
+    "Finding",
+    "RULES",
+    "Rule",
+    "Severity",
+    "WORKLOADS",
+    "buffer_key",
+    "check_all",
+    "check_named",
+    "check_workload",
+    "instrument",
+    "make_workload",
+    "merge_reports",
+    "payload_hash",
+    "render_rule_table",
+    "run_lint",
+    "run_races",
+    "run_sanitizer",
+    "workload_names",
+]

@@ -1,0 +1,274 @@
+"""MapCheck rules, findings and report rendering.
+
+A *rule* is a stable identifier for one class of mapping defect; a
+*finding* is one detected instance, carrying the buffer, the workload it
+came from and — the part that encodes the paper's §IV.C portability
+argument — the per-configuration applicability: the same program can be
+correct under USM/Implicit Zero-Copy on an MI300A yet crash or corrupt
+data under Legacy Copy (the discrete-GPU deployment model), and a
+finding says under which of the four runtime configurations it bites.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import ALL_CONFIGS, RuntimeConfig
+
+__all__ = [
+    "Severity",
+    "Analysis",
+    "Rule",
+    "RULES",
+    "Finding",
+    "CheckReport",
+]
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+class Analysis(enum.Enum):
+    """The three cooperating MapCheck analyses."""
+
+    LINT = "portability-lint"
+    SANITIZER = "mapping-sanitizer"
+    RACES = "race-detector"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One MapCheck rule (stable id, never renumber)."""
+
+    id: str
+    title: str
+    analysis: Analysis
+    severity: Severity
+    summary: str
+
+
+_ALL_RULES = (
+    Rule("MC-P01", "missing-map", Analysis.LINT, Severity.ERROR,
+         "kernel touches host memory no live map entry or declare-target "
+         "global covers"),
+    Rule("MC-P02", "tofrom-missing-from", Analysis.LINT, Severity.ERROR,
+         "kernel-written buffer feeds an application output but is never "
+         "copied back to the host"),
+    Rule("MC-P03", "stale-global", Analysis.LINT, Severity.ERROR,
+         "kernel reads a declare-target global whose host value changed "
+         "after the last update/sync"),
+    Rule("MC-P04", "config-divergent-output", Analysis.LINT, Severity.ERROR,
+         "workload outputs differ between runtime configurations "
+         "(differential evidence of a latent mapping bug)"),
+    Rule("MC-S01", "refcount-underflow", Analysis.SANITIZER, Severity.ERROR,
+         "map-exit would drive a present entry's refcount below zero"),
+    Rule("MC-S02", "map-leak-at-teardown", Analysis.SANITIZER, Severity.WARNING,
+         "present-table entry still live at device teardown"),
+    Rule("MC-S03", "unmap-of-absent", Analysis.SANITIZER, Severity.ERROR,
+         "unmap/release of a buffer with no present-table entry "
+         "(double unmap or never mapped)"),
+    Rule("MC-S04", "use-after-unmap-kernel-arg", Analysis.SANITIZER, Severity.ERROR,
+         "a kernel argument's mapping was destroyed while the kernel was "
+         "in flight"),
+    Rule("MC-S05", "always-clause-misuse", Analysis.SANITIZER, Severity.ERROR,
+         "'always' modifier on a map kind that never transfers"),
+    Rule("MC-R01", "concurrent-map-race", Analysis.RACES, Severity.WARNING,
+         "host threads perform conflicting map-enter/map-exit on "
+         "overlapping ranges with no synchronization edge"),
+    Rule("MC-R02", "host-write-kernel-read-race", Analysis.RACES, Severity.ERROR,
+         "host writes a buffer while a kernel reading it is in flight, "
+         "without waiting on its completion signal"),
+)
+
+#: rule id -> rule, in stable declaration order
+RULES: Dict[str, Rule] = {r.id: r for r in _ALL_RULES}
+
+#: shorthand applicability sets
+ALL = tuple(ALL_CONFIGS)
+NONE: Tuple[RuntimeConfig, ...] = ()
+
+
+@dataclass
+class Finding:
+    """One detected instance of a rule."""
+
+    rule_id: str
+    buffer: str                    #: buffer/global name ("" when n/a)
+    message: str
+    workload: str = ""
+    time_us: Optional[float] = None
+    tid: Optional[int] = None
+    #: configurations under which this defect crashes or corrupts data
+    breaks_under: Tuple[RuntimeConfig, ...] = ()
+    #: configurations under which the program happens to work anyway
+    passes_under: Tuple[RuntimeConfig, ...] = ()
+    #: configurations whose differential run actually crashed/diverged
+    confirmed_by: Tuple[RuntimeConfig, ...] = ()
+    #: output keys this finding explains (MC-P02/MC-P04 bookkeeping)
+    output_keys: Tuple[str, ...] = ()
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.rule_id]
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    def breaks(self, config: RuntimeConfig) -> bool:
+        return config in self.breaks_under
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "title": self.rule.title,
+            "analysis": self.rule.analysis.value,
+            "severity": self.severity.value,
+            "buffer": self.buffer,
+            "workload": self.workload,
+            "message": self.message,
+            "time_us": self.time_us,
+            "tid": self.tid,
+            "breaks_under": [c.value for c in self.breaks_under],
+            "passes_under": [c.value for c in self.passes_under],
+            "confirmed_by": [c.value for c in self.confirmed_by],
+        }
+
+
+_SEV_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` invocation of a workload produced."""
+
+    workload: str
+    fidelity: str
+    findings: List[Finding] = field(default_factory=list)
+    #: per-config outcome of the differential runs ("ok", "crash: ...",
+    #: "outputs diverge: ...", "skipped")
+    config_outcomes: Dict[RuntimeConfig, str] = field(default_factory=dict)
+    #: exception message if the instrumented run itself aborted
+    aborted: Optional[str] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and self.aborted is None
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings,
+            key=lambda f: (_SEV_ORDER[f.severity], f.rule_id, f.buffer),
+        )
+
+    def by_rule(self) -> Dict[str, List[Finding]]:
+        out: Dict[str, List[Finding]] = {}
+        for f in self.findings:
+            out.setdefault(f.rule_id, []).append(f)
+        return out
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _config_flags(self, finding: Finding) -> str:
+        cells = []
+        for cfg in ALL_CONFIGS:
+            if cfg in finding.breaks_under:
+                mark = "break"
+            elif cfg in finding.passes_under:
+                mark = "ok"
+            else:
+                mark = "-"
+            if cfg in finding.confirmed_by:
+                mark += "!"
+            cells.append(f"{cfg.label}={mark}")
+        return " ".join(cells)
+
+    def render(self) -> str:
+        lines = [
+            f"MapCheck report — workload {self.workload!r} "
+            f"(fidelity={self.fidelity})",
+            "=" * 72,
+        ]
+        if self.aborted:
+            lines.append(f"instrumented run ABORTED: {self.aborted}")
+        if not self.findings:
+            lines.append("no findings: mapping is clean and portable across "
+                         "all 4 runtime configurations")
+        else:
+            n_err = sum(1 for f in self.findings if f.severity is Severity.ERROR)
+            lines.append(
+                f"{len(self.findings)} finding(s), {n_err} error(s)"
+            )
+            for f in self.sorted_findings():
+                loc = f"t={f.time_us:.1f}us" if f.time_us is not None else ""
+                tid = f"tid={f.tid}" if f.tid is not None else ""
+                head = " ".join(x for x in (loc, tid) if x)
+                lines.append("-" * 72)
+                lines.append(
+                    f"[{f.severity.value.upper():7s}] {f.rule_id} "
+                    f"{f.rule.title}  ({f.rule.analysis.value})"
+                )
+                if f.buffer:
+                    lines.append(f"  buffer : {f.buffer}" + (f"  ({head})" if head else ""))
+                elif head:
+                    lines.append(f"  at     : {head}")
+                lines.append(f"  detail : {f.message}")
+                lines.append(f"  configs: {self._config_flags(f)}")
+        if self.config_outcomes:
+            lines.append("-" * 72)
+            lines.append("differential runs ('!' above = confirmed there):")
+            for cfg in ALL_CONFIGS:
+                if cfg in self.config_outcomes:
+                    lines.append(f"  {cfg.label:<24} {self.config_outcomes[cfg]}")
+        if self.stats:
+            lines.append("-" * 72)
+            lines.append(
+                "trace: " + ", ".join(f"{k}={v}" for k, v in sorted(self.stats.items()))
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "fidelity": self.fidelity,
+            "ok": self.ok,
+            "aborted": self.aborted,
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+            "config_outcomes": {
+                c.value: o for c, o in self.config_outcomes.items()
+            },
+            "stats": dict(self.stats),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def render_rule_table() -> str:
+    """ASCII table of all rules (``repro check --rules``)."""
+    lines = [f"{'rule':<8}{'title':<28}{'analysis':<19}{'severity':<9}summary"]
+    lines.append("-" * 100)
+    for r in RULES.values():
+        lines.append(
+            f"{r.id:<8}{r.title:<28}{r.analysis.value:<19}"
+            f"{r.severity.value:<9}{r.summary}"
+        )
+    return "\n".join(lines)
+
+
+def merge_reports(reports: Sequence[CheckReport]) -> str:
+    """Summary block for ``repro check all``."""
+    lines = [f"{'workload':<22}{'findings':>9}  status"]
+    lines.append("-" * 56)
+    for rep in reports:
+        status = "CLEAN" if rep.ok else ("ABORTED" if rep.aborted else "FINDINGS")
+        lines.append(f"{rep.workload:<22}{len(rep.findings):>9}  {status}")
+    return "\n".join(lines)

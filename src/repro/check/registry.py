@@ -1,0 +1,60 @@
+"""Bundled-workload registry for ``python -m repro check``.
+
+Each entry is a factory ``fidelity -> Workload`` producing a *fresh*
+instance — the runner executes a workload several times (one
+instrumented recording run plus one differential run per remaining
+configuration), and simulated state must not leak between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..memory.layout import MIB
+from ..workloads import (
+    AllocChurn,
+    Bt470,
+    Ep452,
+    Fidelity,
+    FirstTouchSweep,
+    GlobalBroadcast,
+    Lbm404,
+    OpenFoamUsm,
+    QmcPackNio,
+    SpC457,
+    Stencil403,
+    TriadStream,
+    Workload,
+)
+
+__all__ = ["WORKLOADS", "make_workload", "workload_names"]
+
+WorkloadFactory = Callable[[Fidelity], Workload]
+
+WORKLOADS: Dict[str, WorkloadFactory] = {
+    "qmcpack": lambda f: QmcPackNio(size=2, n_threads=1, fidelity=f),
+    "stencil": lambda f: Stencil403(fidelity=f),
+    "lbm": lambda f: Lbm404(fidelity=f),
+    "ep": lambda f: Ep452(fidelity=f),
+    "spC": lambda f: SpC457(fidelity=f),
+    "bt": lambda f: Bt470(fidelity=f),
+    "openfoam": lambda f: OpenFoamUsm(fidelity=f),
+    "triad": lambda f: TriadStream(fidelity=f),
+    "first-touch": lambda f: FirstTouchSweep(nbytes=64 * MIB, fidelity=f),
+    "global-broadcast": lambda f: GlobalBroadcast(fidelity=f),
+    "alloc-churn": lambda f: AllocChurn(nbytes=64 * MIB, cycles=10, fidelity=f),
+}
+
+
+def workload_names():
+    return sorted(WORKLOADS)
+
+
+def make_workload(name: str, fidelity: Fidelity) -> Workload:
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {', '.join(workload_names())}"
+        ) from None
+    return factory(fidelity)

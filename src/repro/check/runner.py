@@ -1,0 +1,244 @@
+"""MapCheck driver: instrumented recording run + differential confirmation.
+
+``check_workload`` does three things:
+
+1. runs the workload once under Implicit Zero-Copy with a
+   :class:`~repro.check.events.CheckRecorder` attached (IZC is the most
+   permissive configuration — XNACK papers over missing maps — so the
+   recording run completes even for buggy programs, which is exactly
+   what lets the lint *observe* the latent defect instead of crashing
+   on it);
+2. replays the recorded event streams through the three analyses;
+3. optionally re-runs the workload under the other three configurations
+   and compares crashes / functional outputs — a finding whose
+   ``breaks_under`` set contains a configuration that actually crashed
+   or diverged is marked *confirmed*, turning the paper's §IV.C
+   portability argument into an executed experiment rather than a
+   static claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import ALL_CONFIGS, RuntimeConfig
+from ..core.params import CostModel
+from ..core.system import ApuSystem
+from ..driver.kfd import GpuMemoryError
+from ..omp.mapping import MappingError
+from ..omp.runtime import OpenMPRuntime
+from ..workloads.base import Fidelity, Workload
+from .events import CheckRecorder, instrument
+from .findings import CheckReport, Finding
+from .lint import run_lint
+from .races import run_races
+from .registry import WORKLOADS, make_workload
+from .sanitizer import run_sanitizer
+
+__all__ = ["check_workload", "check_named", "check_all", "RecordedRun"]
+
+#: exception types that count as "the program is broken under this
+#: configuration" rather than a harness bug
+_PROGRAM_ERRORS = (MappingError, GpuMemoryError, RuntimeError)
+
+#: the recording configuration: most permissive, never crashes on
+#: portability bugs (XNACK services every stray touch)
+RECORD_CONFIG = RuntimeConfig.IMPLICIT_ZERO_COPY
+
+
+@dataclass
+class RecordedRun:
+    """The instrumented run's artifacts."""
+
+    recorder: CheckRecorder
+    runtime: OpenMPRuntime
+    outputs: Dict[str, object]
+    aborted: Optional[BaseException]
+
+
+def _run_instrumented(
+    workload: Workload, *, cost: Optional[CostModel], seed: int
+) -> RecordedRun:
+    system = ApuSystem(cost=cost or CostModel(), seed=seed)
+    runtime = OpenMPRuntime(system, RECORD_CONFIG)
+    rec = instrument(runtime)
+    aborted = None
+    prepare = getattr(workload, "prepare", None)
+    try:
+        if prepare is not None:
+            prepare(runtime)
+        runtime.run(
+            workload.make_body(),
+            n_threads=workload.n_threads,
+            outputs=workload.outputs.values,
+        )
+    except _PROGRAM_ERRORS as exc:
+        aborted = exc
+    return RecordedRun(
+        recorder=rec, runtime=runtime,
+        outputs=dict(workload.outputs.values), aborted=aborted,
+    )
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    return a == b
+
+
+def _is_telemetry(key: str) -> bool:
+    """Performance telemetry outputs (durations, fault counts) are
+    *supposed* to differ between configurations — that difference is the
+    paper's result, not a bug.  The workload convention is ``*_us`` for
+    durations and ``*_faults`` for XNACK counters."""
+    return key.endswith("_us") or key.endswith("_faults")
+
+
+def _differential(
+    factory: Callable[[], Workload],
+    reference: Dict[str, object],
+    *,
+    cost: Optional[CostModel],
+    seed: int,
+) -> Dict[RuntimeConfig, str]:
+    """Re-run under the other configurations; summarize each outcome."""
+    from ..experiments.runner import execute
+
+    outcomes: Dict[RuntimeConfig, str] = {RECORD_CONFIG: "ok (recording run)"}
+    for config in ALL_CONFIGS:
+        if config is RECORD_CONFIG:
+            continue
+        workload = factory()
+        try:
+            execute(workload, config, cost=cost, seed=seed)
+        except _PROGRAM_ERRORS as exc:
+            outcomes[config] = f"crash: {type(exc).__name__}: {exc}"
+            continue
+        diverged = sorted(
+            key for key, ref in reference.items()
+            if not _is_telemetry(key)
+            and (key not in workload.outputs.values
+                 or not _values_equal(workload.outputs.values[key], ref))
+        )
+        if diverged:
+            outcomes[config] = "outputs diverge: " + ", ".join(diverged)
+        else:
+            outcomes[config] = "ok"
+    return outcomes
+
+
+def _confirm(findings: List[Finding],
+             outcomes: Dict[RuntimeConfig, str]) -> None:
+    for f in findings:
+        f.confirmed_by = tuple(
+            c for c in f.breaks_under
+            if c in outcomes and outcomes[c] != "ok"
+            and not outcomes[c].startswith("ok ")
+        )
+
+
+def _divergence_findings(
+    findings: List[Finding],
+    outcomes: Dict[RuntimeConfig, str],
+    workload: str,
+) -> List[Finding]:
+    """MC-P04 for output divergences no other finding already explains."""
+    explained = set()
+    for f in findings:
+        explained.update(f.output_keys)
+    by_key: Dict[str, List[RuntimeConfig]] = {}
+    for config, outcome in outcomes.items():
+        if outcome.startswith("outputs diverge: "):
+            for key in outcome[len("outputs diverge: "):].split(", "):
+                if key not in explained:
+                    by_key.setdefault(key, []).append(config)
+    extra = []
+    for key, configs in sorted(by_key.items()):
+        extra.append(Finding(
+            rule_id="MC-P04",
+            buffer=key,
+            workload=workload,
+            message=(
+                f"output {key!r} differs from the zero-copy reference under "
+                f"{', '.join(c.label for c in configs)} — the program's "
+                "result depends on the runtime configuration"
+            ),
+            breaks_under=tuple(configs),
+            passes_under=(RECORD_CONFIG,),
+            confirmed_by=tuple(configs),
+            output_keys=(key,),
+        ))
+    return extra
+
+
+def check_workload(
+    factory: Callable[[], Workload],
+    name: Optional[str] = None,
+    *,
+    cross_check: bool = True,
+    cost: Optional[CostModel] = None,
+    seed: int = 0,
+) -> CheckReport:
+    """Run MapCheck over one workload factory (fresh instance per run)."""
+    workload = factory()
+    wname = name or workload.name
+    recorded = _run_instrumented(workload, cost=cost, seed=seed)
+    rec = recorded.recorder
+    findings = run_lint(rec, wname, outputs=recorded.outputs)
+    findings += run_sanitizer(
+        rec, wname,
+        # a crashed run leaves entries behind by construction; only judge
+        # teardown hygiene when all threads actually finished
+        table=None if recorded.aborted else recorded.runtime.table,
+        aborted=recorded.aborted,
+    )
+    findings += run_races(rec, wname)
+    report = CheckReport(
+        workload=wname,
+        fidelity=workload.fidelity.value,
+        findings=findings,
+        aborted=None if recorded.aborted is None else
+        f"{type(recorded.aborted).__name__}: {recorded.aborted}",
+        stats=rec.stats(),
+    )
+    if cross_check and recorded.aborted is None:
+        outcomes = _differential(factory, recorded.outputs, cost=cost, seed=seed)
+        _confirm(findings, outcomes)
+        report.findings.extend(
+            _divergence_findings(findings, outcomes, wname)
+        )
+        report.config_outcomes = outcomes
+    return report
+
+
+def check_named(
+    name: str,
+    fidelity: Fidelity = Fidelity.TEST,
+    *,
+    cross_check: bool = True,
+    cost: Optional[CostModel] = None,
+    seed: int = 0,
+) -> CheckReport:
+    """Run MapCheck over one bundled workload by registry name."""
+    return check_workload(
+        lambda: make_workload(name, fidelity), name,
+        cross_check=cross_check, cost=cost, seed=seed,
+    )
+
+
+def check_all(
+    fidelity: Fidelity = Fidelity.TEST,
+    *,
+    cross_check: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CheckReport]:
+    """Run MapCheck over every bundled workload."""
+    reports = []
+    for name in sorted(WORKLOADS):
+        if progress is not None:
+            progress(f"check {name}")
+        reports.append(check_named(name, fidelity, cross_check=cross_check))
+    return reports

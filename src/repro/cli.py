@@ -8,6 +8,10 @@
     python -m repro table2 [--reps 4]
     python -m repro table3
     python -m repro all    [--quick] [--out report.txt]
+    python -m repro check [workload|all] [--json] [--no-cross] [--rules]
+
+``check`` runs the MapCheck sanitizer/lint over a bundled workload (or
+all of them) and exits 1 if any finding survives — suitable for CI.
 """
 
 from __future__ import annotations
@@ -90,6 +94,46 @@ def cmd_all(args) -> str:
     return ("\n\n" + "=" * 72 + "\n\n").join(parts)
 
 
+def cmd_check(args) -> str:
+    """MapCheck over one bundled workload (or all); sets args.exit_code."""
+    import json
+
+    from .check import (
+        check_all,
+        check_named,
+        merge_reports,
+        render_rule_table,
+        workload_names,
+    )
+
+    args.exit_code = 0
+    if args.rules:
+        return render_rule_table()
+    target = args.workload or "all"
+    # recording + 3 differential runs per workload: TEST fidelity keeps
+    # `check all` in CI territory
+    fidelity = Fidelity.TEST
+    if target == "all":
+        reports = check_all(
+            fidelity, cross_check=not args.no_cross, progress=_progress
+        )
+    else:
+        if target not in workload_names():
+            raise SystemExit(
+                f"unknown workload {target!r}; choose from "
+                f"{', '.join(workload_names())} or 'all'"
+            )
+        reports = [check_named(target, fidelity, cross_check=not args.no_cross)]
+    if any(not r.ok for r in reports):
+        args.exit_code = 1
+    if args.json:
+        return json.dumps([r.to_dict() for r in reports], indent=2)
+    parts = [r.render() for r in reports]
+    if len(reports) > 1:
+        parts.append(merge_reports(reports))
+    return ("\n\n" + "=" * 72 + "\n\n").join(parts)
+
+
 _COMMANDS = {
     "fig3": cmd_fig3,
     "fig4": cmd_fig4,
@@ -97,6 +141,7 @@ _COMMANDS = {
     "table2": cmd_table2,
     "table3": cmd_table3,
     "all": cmd_all,
+    "check": cmd_check,
 }
 
 
@@ -107,6 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
         "zero-copy paper from the simulation.",
     )
     parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="for 'check': bundled workload name, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="for 'check': emit the report as JSON",
+    )
+    parser.add_argument(
+        "--no-cross", action="store_true",
+        help="for 'check': skip the differential runs under the other "
+        "three configurations",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="for 'check': print the MapCheck rule table and exit",
+    )
     parser.add_argument(
         "--sizes", type=_ints, default=[2, 8, 32, 128],
         help="NiO sizes for the figures (comma separated)",
@@ -126,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    args.exit_code = 0
     report = _COMMANDS[args.command](args)
     if args.out:
         with open(args.out, "w") as fh:
@@ -133,4 +196,4 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     else:
         print(report)
-    return 0
+    return args.exit_code

@@ -71,11 +71,20 @@ class DataPolicy:
         finally:
             self.rt.lock.release(grant)
 
+    def _note_map(self, op, clause, tid, t0, *, is_new, refcount, removed):
+        """Report one map operation to the MapCheck recorder (if attached)."""
+        rec = self.rt.recorder
+        if rec is not None:
+            rec.note_map(
+                op, clause, tid, t0, self.env.now,
+                is_new=is_new, refcount=refcount, removed=removed,
+            )
+
     # -- interface ----------------------------------------------------------
-    def map_enter_all(self, clauses: Sequence[MapClause]):  # pragma: no cover
+    def map_enter_all(self, clauses: Sequence[MapClause], tid=None):  # pragma: no cover
         raise NotImplementedError
 
-    def map_exit_all(self, clauses: Sequence[MapClause]):  # pragma: no cover
+    def map_exit_all(self, clauses: Sequence[MapClause], tid=None):  # pragma: no cover
         raise NotImplementedError
 
     def resolve_kernel_args(
@@ -116,7 +125,7 @@ class CopyPolicy(DataPolicy):
 
     config = RuntimeConfig.COPY
 
-    def map_enter_all(self, clauses: Sequence[MapClause]):
+    def map_enter_all(self, clauses: Sequence[MapClause], tid=None):
         h2d_signals = []
         for clause in clauses:
             if clause.kind in (MapKind.RELEASE, MapKind.DELETE):
@@ -124,6 +133,7 @@ class CopyPolicy(DataPolicy):
             buf = clause.buffer
             buf.check_alive()
             self.ledger.n_map_enters += 1
+            t_op = self.env.now
             grant = yield self.rt.lock.acquire()
             try:
                 yield self.env.timeout(self.cost.omp_runtime_call_us)
@@ -147,13 +157,16 @@ class CopyPolicy(DataPolicy):
                 self.hsa.attach_async_handler(sig)
                 self.ledger.mm_copy_us += self.cost.copy_us(buf.nbytes)
                 h2d_signals.append(sig)
+            self._note_map("enter", clause, tid, t_op,
+                           is_new=is_new, refcount=entry.refcount, removed=False)
         return h2d_signals
 
-    def map_exit_all(self, clauses: Sequence[MapClause]):
+    def map_exit_all(self, clauses: Sequence[MapClause], tid=None):
         for clause in clauses:
             buf = clause.buffer
             buf.check_alive()
             self.ledger.n_map_exits += 1
+            t_op = self.env.now
             grant = yield self.rt.lock.acquire()
             try:
                 yield self.env.timeout(self.cost.omp_runtime_call_us)
@@ -178,6 +191,8 @@ class CopyPolicy(DataPolicy):
                     self.table.remove(entry)
                 finally:
                     self.rt.lock.release(grant)
+            self._note_map("exit", clause, tid, t_op,
+                           is_new=False, refcount=entry.refcount, removed=last)
 
     def resolve_kernel_args(self, clauses):
         args: Dict[str, np.ndarray] = {}
@@ -222,23 +237,27 @@ class ZeroCopyPolicy(DataPolicy):
     """Shared behaviour of the three zero-copy configurations: maps do
     presence bookkeeping only; kernels receive host pointers."""
 
-    def map_enter_all(self, clauses: Sequence[MapClause]):
+    def map_enter_all(self, clauses: Sequence[MapClause], tid=None):
         for clause in clauses:
             if clause.kind in (MapKind.RELEASE, MapKind.DELETE):
                 raise MappingError(f"map({clause.kind.value}) is exit-only")
             buf = clause.buffer
             buf.check_alive()
             self.ledger.n_map_enters += 1
+            t_op = self.env.now
             grant = yield self.rt.lock.acquire()
             try:
                 yield self.env.timeout(self.cost.zc_map_call_us)
                 entry = self.table.lookup(buf)
-                if entry is None:
+                is_new = entry is None
+                if is_new:
                     entry = PresentEntry(host=buf, device=None, refcount=0)
                     self.table.insert(entry)
                 entry.refcount += 1
             finally:
                 self.rt.lock.release(grant)
+            self._note_map("enter", clause, tid, t_op,
+                           is_new=is_new, refcount=entry.refcount, removed=False)
             yield from self._post_enter(clause)
         return []
 
@@ -247,20 +266,24 @@ class ZeroCopyPolicy(DataPolicy):
         return
         yield  # pragma: no cover - makes this a generator
 
-    def map_exit_all(self, clauses: Sequence[MapClause]):
+    def map_exit_all(self, clauses: Sequence[MapClause], tid=None):
         for clause in clauses:
             clause.buffer.check_alive()
             self.ledger.n_map_exits += 1
+            t_op = self.env.now
             grant = yield self.rt.lock.acquire()
             try:
                 yield self.env.timeout(self.cost.zc_map_call_us)
                 entry = self.table.release(
                     clause.buffer, delete=clause.kind is MapKind.DELETE
                 )
-                if entry.refcount == 0:
+                removed = entry.refcount == 0
+                if removed:
                     self.table.remove(entry)
             finally:
                 self.rt.lock.release(grant)
+            self._note_map("exit", clause, tid, t_op,
+                           is_new=False, refcount=entry.refcount, removed=removed)
 
     def resolve_kernel_args(self, clauses):
         args = {c.buffer.name: c.buffer.payload for c in clauses}

@@ -49,6 +49,8 @@ class AsyncTarget:
 
     signal: Signal
     maps: Tuple[MapClause, ...]
+    #: pending MapCheck kernel event (set only when a recorder is attached)
+    check_info: object = None
 
 
 class OmpThread:
@@ -101,7 +103,7 @@ class OmpThread:
     # ------------------------------------------------------------------
     def target_enter_data(self, maps: Sequence[MapClause]):
         """(generator) ``#pragma omp target enter data map(...)``."""
-        sigs = yield from self._policy.map_enter_all(maps)
+        sigs = yield from self._policy.map_enter_all(maps, tid=self.tid)
         if sigs:
             t0 = self.env.now
             yield from self.rt.hsa.signal_wait_scacquire_all(sigs)
@@ -109,11 +111,13 @@ class OmpThread:
 
     def target_exit_data(self, maps: Sequence[MapClause]):
         """(generator) ``#pragma omp target exit data map(...)``."""
-        yield from self._policy.map_exit_all(maps)
+        yield from self._policy.map_exit_all(maps, tid=self.tid)
 
     def update_global(self, glob: GlobalVar):
         """(generator) ``map(always, to: g)`` / ``target update to(g)``."""
         yield from self._policy.global_update(glob)
+        if self.rt.recorder is not None:
+            self.rt.recorder.note_global_sync(self.tid, self.env.now, glob)
 
     def target_update(self, to=(), from_=()):
         """(generator) ``#pragma omp target update to(...) from(...)``.
@@ -122,10 +126,33 @@ class OmpThread:
         reference counts; absent ranges are skipped (OpenMP 5.x).  Under
         zero-copy configurations there is nothing to move.
         """
+        rec = self.rt.recorder
         for buf in to:
             yield from self._policy.motion_update(buf, to_device=True)
+            if rec is not None:
+                rec.note_update(self.tid, self.env.now, buf, to_device=True,
+                                present=self.rt.table.is_present(buf))
         for buf in from_:
             yield from self._policy.motion_update(buf, to_device=False)
+            if rec is not None:
+                rec.note_update(self.tid, self.env.now, buf, to_device=False,
+                                present=self.rt.table.is_present(buf))
+
+    def host_write(self, buf: HostBuffer, values=None) -> None:
+        """Declare a host-side write to ``buf``'s payload.
+
+        The write itself is free (host stores are never the bottleneck
+        here); the point of the call is the *declaration* — MapCheck's
+        race detector uses it to find host writes that overlap an
+        in-flight kernel reading the same range (rule MC-R02).  If
+        ``values`` is given it is written into the payload first.
+        """
+        buf.check_alive()
+        if values is not None:
+            flat = np.asarray(values, dtype=buf.payload.dtype).reshape(-1)
+            buf.payload.reshape(-1)[: flat.size] = flat
+        if self.rt.recorder is not None:
+            self.rt.recorder.note_host_write(self.tid, self.env.now, buf)
 
     # ------------------------------------------------------------------
     # target regions
@@ -138,6 +165,7 @@ class OmpThread:
         fn: Optional[KernelFn] = None,
         globals_used: Sequence[GlobalVar] = (),
         nowait: bool = False,
+        touches: Sequence[HostBuffer] = (),
     ):
         """(generator) ``#pragma omp target teams ...`` region.
 
@@ -146,14 +174,33 @@ class OmpThread:
         completion and performs the implicit map-exit.  With ``nowait``
         the handle is returned immediately and :meth:`wait` finishes the
         region.  Returns the kernel's :class:`KernelRecord`.
+
+        ``touches`` declares raw-pointer accesses: host buffers the
+        kernel dereferences *without* a map clause (a pointer smuggled in
+        through a struct, say).  On an APU with XNACK these silently work
+        — the faults are replayed like any other first touch — but
+        configurations that run with XNACK disabled (Copy, Eager Maps:
+        the discrete-GPU deployment model) hard-fault on them, which is
+        exactly the latent portability bug of §IV.C that MapCheck's
+        MC-P01 lint exists to flag.
         """
         maps = tuple(maps)
-        sigs = yield from self._policy.map_enter_all(maps)
+        touches = tuple(touches)
+        sigs = yield from self._policy.map_enter_all(maps, tid=self.tid)
         if sigs:
             t0 = self.env.now
             yield from self.rt.hsa.signal_wait_scacquire_all(sigs)
             self.rt.ledger.wait_us += self.env.now - t0
         args, fault_ranges = self._policy.resolve_kernel_args(maps)
+        fault_ranges = list(fault_ranges) if self.rt.config.is_zero_copy else []
+        uncovered = []
+        for buf in touches:
+            buf.check_alive()
+            args.setdefault(buf.name, buf.payload)
+            if (self.rt.table.find_covering(buf.range) is None
+                    and self.rt.globals.find_covering(buf.range) is None):
+                uncovered.append(buf)
+                fault_ranges.append(buf.range)
         if self.rt.kernel_cost_adjuster is not None:
             compute_us = self.rt.kernel_cost_adjuster(maps, compute_us)
         gviews = {g.name: self._policy.resolve_global(g) for g in globals_used}
@@ -164,14 +211,19 @@ class OmpThread:
         body = None
         if fn is not None:
             body = lambda: fn(args, gviews)  # noqa: E731
+        check_info = None
+        if self.rt.recorder is not None:
+            check_info = self.rt.recorder.begin_kernel(
+                name, self.tid, self.env.now, maps, touches, uncovered, globals_used
+            )
         sig = self.rt.hsa.dispatch_kernel(
             name,
             compute_us,
             fn=body,
-            fault_ranges=fault_ranges if self.rt.config.is_zero_copy else [],
+            fault_ranges=fault_ranges,
             on_complete=self.rt._on_kernel_complete,
         )
-        handle = AsyncTarget(sig, maps)
+        handle = AsyncTarget(sig, maps, check_info=check_info)
         if nowait:
             return handle
         rec = yield from self.wait(handle)
@@ -182,8 +234,10 @@ class OmpThread:
         t0 = self.env.now
         yield from self.rt.hsa.signal_wait_scacquire(handle.signal)
         self.rt.ledger.wait_us += self.env.now - t0
-        yield from self._policy.map_exit_all(handle.maps)
         rec: KernelRecord = handle.signal.value
+        if self.rt.recorder is not None and handle.check_info is not None:
+            self.rt.recorder.end_kernel(handle.check_info, rec, self.tid, t0)
+        yield from self._policy.map_exit_all(handle.maps, tid=self.tid)
         return rec
 
     # ------------------------------------------------------------------

@@ -97,5 +97,14 @@ class GlobalRegistry:
     def all(self):
         return list(self._globals.values())
 
+    def find_covering(self, rng: AddressRange) -> Optional[GlobalVar]:
+        """First global whose address range overlaps ``rng`` (used by the
+        MapCheck coverage lint: declare-target globals are always device
+        accessible, so touching them needs no map clause)."""
+        for glob in self._globals.values():
+            if glob.range.overlaps(rng):
+                return glob
+        return None
+
     def __len__(self) -> int:
         return len(self._globals)

@@ -24,11 +24,29 @@ from typing import Dict, List, Optional
 
 from ..memory.buffers import DeviceBuffer, HostBuffer
 
-__all__ = ["MapKind", "MapClause", "PresentEntry", "PresentTable", "MappingError"]
+__all__ = [
+    "MapKind",
+    "MapClause",
+    "PresentEntry",
+    "PresentTable",
+    "MappingError",
+    "RefcountUnderflowError",
+    "AlwaysMisuseError",
+]
 
 
 class MappingError(RuntimeError):
     """Raised on map/unmap sequences that violate OpenMP semantics."""
+
+
+class RefcountUnderflowError(MappingError):
+    """An unmap would drive a present entry's refcount below zero
+    (unbalanced map-exit; MapCheck rule MC-S01)."""
+
+
+class AlwaysMisuseError(MappingError):
+    """``always`` modifier attached to a map kind that never transfers
+    (MapCheck rule MC-S05)."""
 
 
 class MapKind(enum.Enum):
@@ -60,7 +78,9 @@ class MapClause:
 
     def __post_init__(self):
         if self.always and self.kind in (MapKind.ALLOC, MapKind.RELEASE, MapKind.DELETE):
-            raise MappingError(f"'always' modifier is meaningless on map({self.kind.value})")
+            raise AlwaysMisuseError(
+                f"'always' modifier is meaningless on map({self.kind.value})"
+            )
 
 
 @dataclass
@@ -77,11 +97,26 @@ class PresentEntry:
 
 
 class PresentTable:
-    """Per-device host→target mapping table with refcounts."""
+    """Per-device host→target mapping table with refcounts.
+
+    ``observer`` is an optional sanitizer hook (``repro.check``): when
+    set, every structural operation — and every rejected one, *before*
+    the exception propagates — is reported via
+    ``observer.note_table(op, buffer, refcount, locked)``.  ``lock_probe``
+    lets the observer know whether the device lock was held at the time
+    (operations outside the lock are themselves suspicious).
+    """
 
     def __init__(self):
         self._entries: Dict[int, PresentEntry] = {}
         self.peak_entries = 0
+        self.observer = None
+        self.lock_probe = None
+
+    def _notify(self, op: str, buffer: Optional[HostBuffer], refcount) -> None:
+        if self.observer is not None:
+            locked = bool(self.lock_probe()) if self.lock_probe is not None else True
+            self.observer.note_table(op, buffer, refcount, locked)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -98,6 +133,18 @@ class PresentTable:
     def is_present(self, buffer: HostBuffer) -> bool:
         return self.lookup(buffer) is not None
 
+    def find_covering(self, rng) -> Optional[PresentEntry]:
+        """First live entry whose host range overlaps ``rng``.
+
+        Raw-pointer accesses do not have to start at a mapped buffer's
+        base address, so coverage checks (MapCheck's missing-map lint)
+        need an overlap lookup rather than the exact-start :meth:`lookup`.
+        """
+        for entry in self._entries.values():
+            if entry.host.range.overlaps(rng):
+                return entry
+        return None
+
     def insert(self, entry: PresentEntry) -> None:
         key = entry.key
         if key in self._entries:
@@ -105,18 +152,22 @@ class PresentTable:
         self._entries[key] = entry
         if len(self._entries) > self.peak_entries:
             self.peak_entries = len(self._entries)
+        self._notify("insert", entry.host, entry.refcount)
 
     def remove(self, entry: PresentEntry) -> None:
         found = self._entries.pop(entry.key, None)
         if found is not entry:
             raise MappingError(f"removing unknown present-table entry {entry.host.name!r}")
+        self._notify("remove", entry.host, entry.refcount)
 
     def retain(self, buffer: HostBuffer) -> PresentEntry:
         """Increment the refcount of an existing entry."""
         entry = self.lookup(buffer)
         if entry is None:
+            self._notify("retain_absent", buffer, None)
             raise MappingError(f"retain of absent buffer {buffer.name!r}")
         entry.refcount += 1
+        self._notify("retain", buffer, entry.refcount)
         return entry
 
     def release(self, buffer: HostBuffer, delete: bool = False) -> PresentEntry:
@@ -128,13 +179,19 @@ class PresentTable:
         """
         entry = self.lookup(buffer)
         if entry is None:
+            self._notify("release_absent", buffer, None)
             raise MappingError(f"unmap of absent buffer {buffer.name!r}")
         if entry.refcount <= 0:
-            raise MappingError(f"refcount underflow for {buffer.name!r}")
+            self._notify("underflow", buffer, entry.refcount)
+            raise RefcountUnderflowError(
+                f"refcount underflow for {buffer.name!r}: release at refcount "
+                f"{entry.refcount} (unbalanced map-exit)"
+            )
         if delete:
             entry.refcount = 0
         else:
             entry.refcount -= 1
+        self._notify("release", buffer, entry.refcount)
         return entry
 
     def entries(self) -> List[PresentEntry]:

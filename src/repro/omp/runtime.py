@@ -126,6 +126,9 @@ class OpenMPRuntime:
         #: clauses (used by the multi-socket card model to charge remote
         #: HBM access penalties); signature (clauses, compute_us) -> us
         self.kernel_cost_adjuster = None
+        #: optional MapCheck event recorder (``repro.check.events``);
+        #: attached via ``repro.check.instrument``, None in normal runs
+        self.recorder = None
         self._initialized = False
         self._init_us = 0.0
 
@@ -163,6 +166,8 @@ class OpenMPRuntime:
             self.policy.init_global(glob)
             if not glob.usm_pointer:
                 np.copyto(glob.device_payload, glob.host_payload)
+            if self.recorder is not None:
+                self.recorder.note_global_sync(None, self.env.now, glob)
         self._initialized = True
 
     def _init_thread_resources(self):

@@ -147,6 +147,7 @@ class QmcPackNio(Workload):
         outputs = self.outputs
         spline_chunks: List = []  # shared across threads (read-only)
         setup_done = {"count": 0}
+        teardown_done = {"count": 0}
 
         def body(th: OmpThread, tid: int):
             env = th.env
@@ -222,7 +223,7 @@ class QmcPackNio(Workload):
                 for _k in range(p.kernels_per_step):
                     chunk = spline_chunks[kid % SPLINE_CHUNKS]
                     yield from th.target(
-                        f"mc_step",
+                        "mc_step",
                         p.kernel_compute_us,
                         maps=[
                             MapClause(par_a, MapKind.TO, always=True),
@@ -259,6 +260,16 @@ class QmcPackNio(Workload):
                     MapClause(par_b, MapKind.RELEASE),
                 ]
             )
+            # the shared spline table is unmapped once every thread is
+            # done with it (outside the measurement window, so Table I
+            # call counts and steady-state ratios are unaffected)
+            teardown_done["count"] += 1
+            if tid == 0:
+                while teardown_done["count"] < p.n_threads:
+                    yield env.timeout(50.0)
+                yield from th.target_exit_data(
+                    [MapClause(b, MapKind.RELEASE) for b in spline_chunks]
+                )
             outputs.put(f"acc{tid}", acc)
             outputs.put(f"walkers{tid}", walkers.payload.copy())
 

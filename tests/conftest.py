@@ -1,10 +1,9 @@
 """Shared fixtures and helpers for the test suite."""
 
-import numpy as np
 import pytest
 
 from repro.core import ApuSystem, CostModel, RuntimeConfig
-from repro.omp import MapClause, MapKind, OpenMPRuntime
+from repro.omp import OpenMPRuntime
 
 
 def make_runtime(config, cost=None, seed=0, kernel_trace=False):

@@ -1,0 +1,200 @@
+"""Findings engine, report rendering, registry, and CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    RULES,
+    Analysis,
+    CheckReport,
+    Finding,
+    Severity,
+    check_named,
+    make_workload,
+    merge_reports,
+    render_rule_table,
+    workload_names,
+)
+from repro.cli import main
+from repro.core import RuntimeConfig
+from repro.workloads.base import Fidelity
+
+COPY = RuntimeConfig.COPY
+USM = RuntimeConfig.UNIFIED_SHARED_MEMORY
+IZC = RuntimeConfig.IMPLICIT_ZERO_COPY
+EAGER = RuntimeConfig.EAGER_MAPS
+
+
+# ---------------------------------------------------------------------------
+# rule registry stability
+# ---------------------------------------------------------------------------
+def test_rule_ids_are_stable():
+    """Rule ids are a public contract (CI greps for them): renumbering
+    or dropping one is a breaking change."""
+    assert set(RULES) == {
+        "MC-P01", "MC-P02", "MC-P03", "MC-P04",
+        "MC-S01", "MC-S02", "MC-S03", "MC-S04", "MC-S05",
+        "MC-R01", "MC-R02",
+    }
+
+
+def test_rules_partition_across_the_three_analyses():
+    by_analysis = {a: [] for a in Analysis}
+    for rule in RULES.values():
+        by_analysis[rule.analysis].append(rule.id)
+    assert by_analysis[Analysis.LINT] == ["MC-P01", "MC-P02", "MC-P03", "MC-P04"]
+    assert by_analysis[Analysis.SANITIZER] == [
+        "MC-S01", "MC-S02", "MC-S03", "MC-S04", "MC-S05"
+    ]
+    assert by_analysis[Analysis.RACES] == ["MC-R01", "MC-R02"]
+
+
+def test_rule_table_lists_every_rule():
+    table = render_rule_table()
+    for rule_id in RULES:
+        assert rule_id in table
+
+
+# ---------------------------------------------------------------------------
+# Finding / CheckReport
+# ---------------------------------------------------------------------------
+def _finding(**kw):
+    defaults = dict(
+        rule_id="MC-P01",
+        buffer="ghost",
+        message="kernel touches unmapped memory",
+        workload="unit",
+        breaks_under=(COPY, EAGER),
+        passes_under=(USM, IZC),
+        confirmed_by=(COPY,),
+    )
+    defaults.update(kw)
+    return Finding(**defaults)
+
+
+def test_finding_resolves_rule_and_severity():
+    f = _finding()
+    assert f.rule is RULES["MC-P01"]
+    assert f.severity is Severity.ERROR
+    assert f.breaks(COPY) and not f.breaks(USM)
+
+
+def test_finding_to_dict_round_trips_configs():
+    d = _finding().to_dict()
+    assert d["rule"] == "MC-P01"
+    assert d["breaks_under"] == [COPY.value, EAGER.value]
+    assert d["passes_under"] == [USM.value, IZC.value]
+    assert d["confirmed_by"] == [COPY.value]
+    json.dumps(d)  # must be JSON-serializable as-is
+
+
+def test_report_ok_and_sorting():
+    clean = CheckReport(workload="w", fidelity="test")
+    assert clean.ok
+    warn = _finding(rule_id="MC-S02", buffer="b")
+    err = _finding(rule_id="MC-S01", buffer="a")
+    rep = CheckReport(workload="w", fidelity="test", findings=[warn, err])
+    assert not rep.ok
+    # errors sort before warnings regardless of insertion order
+    assert [f.rule_id for f in rep.sorted_findings()] == ["MC-S01", "MC-S02"]
+    assert set(rep.by_rule()) == {"MC-S01", "MC-S02"}
+
+
+def test_report_aborted_is_not_ok_even_without_findings():
+    rep = CheckReport(workload="w", fidelity="test", aborted="Boom: x")
+    assert not rep.ok
+    assert "ABORTED" in rep.render()
+
+
+def test_render_marks_confirmed_configs():
+    rep = CheckReport(
+        workload="w", fidelity="test", findings=[_finding()],
+        config_outcomes={
+            IZC: "ok (recording run)",
+            COPY: "crash: GpuMemoryError: boom",
+            USM: "ok",
+            EAGER: "ok",
+        },
+    )
+    text = rep.render()
+    assert "MC-P01" in text
+    assert f"{COPY.label}=break!" in text    # confirmed -> '!'
+    assert f"{EAGER.label}=break" in text    # predicted but not confirmed
+    assert f"{USM.label}=ok" in text
+    assert "crash: GpuMemoryError" in text
+
+
+def test_to_json_parses_back():
+    rep = CheckReport(workload="w", fidelity="test", findings=[_finding()])
+    data = json.loads(rep.to_json())
+    assert data["workload"] == "w"
+    assert data["ok"] is False
+    assert data["findings"][0]["rule"] == "MC-P01"
+
+
+def test_merge_reports_summary():
+    clean = CheckReport(workload="good", fidelity="test")
+    bad = CheckReport(workload="bad", fidelity="test", findings=[_finding()])
+    text = merge_reports([clean, bad])
+    assert "CLEAN" in text and "FINDINGS" in text
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+def test_registry_builds_every_workload():
+    names = workload_names()
+    assert "qmcpack" in names and "triad" in names
+    for name in names:
+        w = make_workload(name, Fidelity.TEST)
+        assert w.n_threads >= 1
+
+
+def test_registry_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        make_workload("definitely-not-a-workload", Fidelity.TEST)
+
+
+# ---------------------------------------------------------------------------
+# clean bundled workloads (acceptance: qmcpack has zero findings)
+# ---------------------------------------------------------------------------
+def test_qmcpack_is_clean_including_differential_runs():
+    report = check_named("qmcpack", Fidelity.TEST)
+    assert report.findings == []
+    assert report.aborted is None
+    assert report.ok
+    for config, outcome in report.config_outcomes.items():
+        assert outcome.startswith("ok"), f"{config}: {outcome}"
+
+
+def test_triad_is_clean_without_cross_check():
+    report = check_named("triad", Fidelity.TEST, cross_check=False)
+    assert report.ok
+    assert report.config_outcomes == {}
+    assert report.stats.get("kernels", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_check_qmcpack_exits_zero(capsys):
+    assert main(["check", "qmcpack", "--no-cross"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+
+
+def test_cli_check_json_output(capsys):
+    assert main(["check", "triad", "--no-cross", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data[0]["ok"] is True
+
+
+def test_cli_check_rules_table(capsys):
+    assert main(["check", "--rules"]) == 0
+    assert "MC-R02" in capsys.readouterr().out
+
+
+def test_cli_check_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["check", "no-such-workload"])

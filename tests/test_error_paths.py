@@ -6,7 +6,7 @@ import pytest
 from conftest import make_runtime
 
 from repro.core import ApuSystem, CostModel, RuntimeConfig
-from repro.memory import MIB, PAGE_2M
+from repro.memory import PAGE_2M
 from repro.omp import MapClause, MapKind, MappingError, OpenMPRuntime
 
 

@@ -18,7 +18,7 @@ from repro.experiments import (
     table2_specaccel,
     table3_overheads,
 )
-from repro.workloads import Fidelity, QmcPackNio, TriadStream
+from repro.workloads import Fidelity, TriadStream
 
 
 # ---------------------------------------------------------------------------

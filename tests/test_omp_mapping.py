@@ -120,3 +120,193 @@ def test_total_refcount():
     t.insert(PresentEntry(host=buf("a", 0x1000), device=None, refcount=2))
     t.insert(PresentEntry(host=buf("b", 0x9000), device=None, refcount=3))
     assert t.total_refcount() == 5
+
+
+# ---------------------------------------------------------------------------
+# dedicated error subclasses (MapCheck wants to tell defects apart)
+# ---------------------------------------------------------------------------
+def test_underflow_raises_dedicated_subclass():
+    from repro.omp.mapping import RefcountUnderflowError
+
+    t = PresentTable()
+    b = buf()
+    t.insert(PresentEntry(host=b, device=None, refcount=0))
+    with pytest.raises(RefcountUnderflowError, match="underflow"):
+        t.release(b)
+    # still catchable as the generic MappingError (backwards compatible)
+    assert issubclass(RefcountUnderflowError, MappingError)
+
+
+def test_always_misuse_raises_dedicated_subclass():
+    from repro.omp.mapping import AlwaysMisuseError
+
+    with pytest.raises(AlwaysMisuseError):
+        MapClause(buf(), MapKind.RELEASE, always=True)
+    assert issubclass(AlwaysMisuseError, MappingError)
+
+
+def test_delete_release_on_absent_still_rejected():
+    t = PresentTable()
+    with pytest.raises(MappingError, match="absent"):
+        t.release(buf(), delete=True)
+
+
+# ---------------------------------------------------------------------------
+# overlap lookup (raw-pointer coverage checks)
+# ---------------------------------------------------------------------------
+def test_find_covering_matches_interior_range():
+    from repro.memory import AddressRange
+
+    t = PresentTable()
+    b = buf("big", start=0x10000, nbytes=0x4000)
+    e = PresentEntry(host=b, device=None, refcount=1)
+    t.insert(e)
+    # a sub-range strictly inside the mapped buffer is covered
+    assert t.find_covering(AddressRange(0x11000, 0x100)) is e
+    # a range straddling the end is still covered (partial overlap)
+    assert t.find_covering(AddressRange(0x13f00, 0x1000)) is e
+    # adjacent-but-disjoint is not
+    assert t.find_covering(AddressRange(0x14000, 0x100)) is None
+
+
+def test_find_covering_ignores_removed_entries():
+    from repro.memory import AddressRange
+
+    t = PresentTable()
+    b = buf("gone", start=0x10000, nbytes=0x1000)
+    e = PresentEntry(host=b, device=None, refcount=1)
+    t.insert(e)
+    t.remove(e)
+    assert t.find_covering(AddressRange(0x10000, 8)) is None
+
+
+# ---------------------------------------------------------------------------
+# sanitizer observer hooks
+# ---------------------------------------------------------------------------
+class _Probe:
+    def __init__(self):
+        self.ops = []
+
+    def note_table(self, op, buffer, refcount, locked):
+        self.ops.append((op, None if buffer is None else buffer.name,
+                         refcount, locked))
+
+
+def test_observer_sees_structural_ops_in_order():
+    t = PresentTable()
+    probe = _Probe()
+    t.observer = probe
+    b = buf("obs")
+    e = PresentEntry(host=b, device=None, refcount=1)
+    t.insert(e)
+    t.retain(b)
+    t.release(b)
+    t.release(b)
+    t.remove(e)
+    assert [(op, rc) for op, _, rc, _ in probe.ops] == [
+        ("insert", 1), ("retain", 2), ("release", 1), ("release", 0),
+        ("remove", 0),
+    ]
+
+
+def test_observer_notified_before_underflow_raises():
+    from repro.omp.mapping import RefcountUnderflowError
+
+    t = PresentTable()
+    probe = _Probe()
+    t.observer = probe
+    b = buf("uf")
+    t.insert(PresentEntry(host=b, device=None, refcount=0))
+    with pytest.raises(RefcountUnderflowError):
+        t.release(b)
+    assert probe.ops[-1][0] == "underflow"
+
+
+def test_observer_notified_on_absent_release_and_retain():
+    t = PresentTable()
+    probe = _Probe()
+    t.observer = probe
+    b = buf("missing")
+    with pytest.raises(MappingError):
+        t.release(b)
+    with pytest.raises(MappingError):
+        t.retain(b)
+    assert [op for op, _, _, _ in probe.ops] == [
+        "release_absent", "retain_absent",
+    ]
+    # absent ops carry no refcount
+    assert all(rc is None for _, _, rc, _ in probe.ops)
+
+
+def test_lock_probe_reported_to_observer():
+    t = PresentTable()
+    probe = _Probe()
+    t.observer = probe
+    held = {"locked": False}
+    t.lock_probe = lambda: held["locked"]
+    t.insert(PresentEntry(host=buf("a", 0x1000), device=None, refcount=1))
+    held["locked"] = True
+    t.insert(PresentEntry(host=buf("b", 0x9000), device=None, refcount=1))
+    assert [locked for _, _, _, locked in probe.ops] == [False, True]
+
+
+def test_no_observer_means_no_overhead_paths_break():
+    # the default table has no observer/probe; all paths must still work
+    t = PresentTable()
+    assert t.observer is None and t.lock_probe is None
+    b = buf()
+    t.insert(PresentEntry(host=b, device=None, refcount=1))
+    t.retain(b)
+    t.release(b, delete=True)
+
+
+# ---------------------------------------------------------------------------
+# runtime-level semantics: always re-transfer and delete
+# ---------------------------------------------------------------------------
+def test_always_retransfers_on_present_entry():
+    """map(always to:) on an already-present buffer must re-copy: the
+    device sees host-side updates made between the two map-enters."""
+    import numpy as np
+
+    from conftest import run_single
+    from repro.core import RuntimeConfig
+    from repro.omp.mapping import MapClause as MC
+
+    captured = {}
+
+    def body(th, tid):
+        data = yield from th.alloc("p", 4096, payload=np.zeros(4))
+        yield from th.target_enter_data([MC(data, MapKind.TO)])
+        data.payload[:] = 7.0  # host-side update while mapped
+        yield from th.target_enter_data([MC(data, MapKind.TO, always=True)])
+        yield from th.target(
+            "read", 10.0, maps=[MC(data, MapKind.FROM, always=True)],
+            fn=lambda a, g: a["p"].__iadd__(1.0),
+        )
+        yield from th.target_exit_data([MC(data, MapKind.RELEASE)])
+        yield from th.target_exit_data([MC(data, MapKind.RELEASE)])
+        captured["p"] = data.payload.copy()
+
+    run_single(RuntimeConfig.COPY, body)
+    # without the always re-transfer the kernel would read zeros and the
+    # copy-back would yield 1.0 everywhere
+    assert captured["p"][0] == 8.0
+
+
+def test_delete_removes_multiply_mapped_entry():
+    from conftest import run_single
+    from repro.core import RuntimeConfig
+    from repro.omp.mapping import MapClause as MC
+
+    def body(th, tid):
+        data = yield from th.alloc("d", 4096)
+        yield from th.target_enter_data([MC(data, MapKind.TO)])
+        yield from th.target_enter_data([MC(data, MapKind.TO)])
+        yield from th.target_enter_data([MC(data, MapKind.TO)])
+        assert th.rt.table.lookup(data).refcount == 3
+        yield from th.target_exit_data([MC(data, MapKind.DELETE)])
+        assert not th.rt.table.is_present(data)
+
+    for config in (RuntimeConfig.COPY, RuntimeConfig.IMPLICIT_ZERO_COPY):
+        rt, _ = run_single(config, body)
+        assert len(rt.table) == 0

@@ -8,9 +8,9 @@ import pytest
 from conftest import make_runtime
 
 from repro.core import CostModel, RuntimeConfig
-from repro.memory import KIB, MIB, PAGE_2M
+from repro.memory import KIB, MIB
 from repro.omp import MapClause, MapKind
-from repro.omp.memmgr import MemoryManager, _size_class
+from repro.omp.memmgr import _size_class
 
 
 def test_size_class_power_of_two():

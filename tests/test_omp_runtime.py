@@ -5,7 +5,7 @@ import pytest
 
 from conftest import ALL, make_runtime, run_single
 
-from repro.core import CostModel, RuntimeConfig
+from repro.core import RuntimeConfig
 from repro.memory import MIB, PAGE_2M, MapOrigin
 from repro.omp import MapClause, MapKind, MappingError
 

@@ -1,7 +1,5 @@
 """Property-based tests for the ROCr pool and the memory manager."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import CostModel

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import ApuSystem, CostModel, RuntimeConfig
+from repro.core import CostModel, RuntimeConfig
 from repro.experiments import execute
 from repro.memory import GIB, MIB
-from repro.omp import OpenMPRuntime
 from repro.workloads import (
     AllocChurn,
     Fidelity,

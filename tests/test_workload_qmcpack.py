@@ -8,7 +8,6 @@ from repro.experiments import execute
 from repro.workloads import Fidelity, QmcPackNio, nio_parameters
 from repro.workloads.qmcpack import (
     BATCH_ALLOCS_PER_STEP,
-    KERNELS_PER_STEP,
     NIO_SIZES,
     WALKERS,
 )
