@@ -2,16 +2,23 @@
 
 ::
 
-    python -m repro fig3   [--sizes 2,8,32] [--threads 1,2,4,8] [--quick]
+    python -m repro fig3   [--sizes 2,8,32] [--threads 1,2,4,8] [--quick] [--jobs N]
     python -m repro fig4
     python -m repro table1 [--quick]
-    python -m repro table2 [--reps 4]
+    python -m repro table2 [--reps 4] [--jobs N]
     python -m repro table3
     python -m repro all    [--quick] [--out report.txt]
     python -m repro check [workload|all] [--json] [--no-cross] [--rules]
+    python -m repro bench  [--quick] [--jobs N] [--bench-json BENCH.json]
 
 ``check`` runs the MapCheck sanitizer/lint over a bundled workload (or
 all of them) and exits 1 if any finding survives — suitable for CI.
+
+``--jobs N`` fans the independent (workload, config, repetition) cells
+of an experiment out over N worker processes; results are bit-identical
+to ``--jobs 1``.  ``bench`` times pagetable micro-ops, a QMCPack run and
+a full ratio experiment, writes ``BENCH.json``, and exits 1 if any
+run-equivalence invariant (never a timing) regresses.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ def _fig_grid(args, threads):
         reps=1 if args.quick else args.reps,
         noise=not args.quick and args.reps > 1,
         progress=_progress,
+        jobs=args.jobs,
     )
 
 
@@ -74,6 +82,7 @@ def cmd_table2(args) -> str:
         reps=2 if args.quick else args.reps,
         fidelity=fidelity,
         progress=_progress,
+        jobs=args.jobs,
     )
     return render_table2(result)
 
@@ -134,6 +143,21 @@ def cmd_check(args) -> str:
     return ("\n\n" + "=" * 72 + "\n\n").join(parts)
 
 
+def cmd_bench(args) -> str:
+    """Benchmark harness; writes BENCH.json and gates on equivalence."""
+    from .experiments.bench import write_bench
+
+    report = write_bench(
+        args.bench_json,
+        quick=args.quick,
+        jobs=args.jobs if args.jobs and args.jobs > 1 else 4,
+        progress=_progress,
+    )
+    print(f"wrote {args.bench_json}", file=sys.stderr)
+    args.exit_code = 0 if report.ok else 1
+    return report.render()
+
+
 _COMMANDS = {
     "fig3": cmd_fig3,
     "fig4": cmd_fig4,
@@ -142,6 +166,7 @@ _COMMANDS = {
     "table3": cmd_table3,
     "all": cmd_all,
     "check": cmd_check,
+    "bench": cmd_bench,
 }
 
 
@@ -178,6 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread counts for fig3 (comma separated)",
     )
     parser.add_argument("--reps", type=int, default=4, help="repetitions")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiment fan-out (0 = one per CPU); "
+        "results are identical for any value",
+    )
+    parser.add_argument(
+        "--bench-json", default="BENCH.json",
+        help="for 'bench': where to write the JSON results",
+    )
     parser.add_argument(
         "--quick", action="store_true",
         help="scaled-down fidelity/repetitions for smoke runs",

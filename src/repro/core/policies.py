@@ -340,7 +340,7 @@ class EagerMapsPolicy(ZeroCopyPolicy):
     def _post_enter(self, clause: MapClause):
         t0 = self.env.now
         rng = clause.buffer.range
-        if self.rt.system.driver.count_missing_pages([rng]) == 0:
+        if not self.rt.system.driver.has_missing_pages([rng]):
             # fast path: presence verification reads the page table under
             # a shared lock — no cross-thread serialization
             yield from self.hsa.svm_attributes_set(rng)

@@ -20,6 +20,13 @@ Freeing host memory triggers :meth:`mmu_unmap` (an mmu-notifier analogue):
 GPU translations for the range are shot down, which is what forces
 re-faulting of 452.ep's re-allocated buffers and spC/bt's per-invocation
 stack arrays.
+
+All four mechanisms operate at *run* granularity: the missing portion of
+a range is computed as coalesced extents (one ``bisect`` walk), CPU
+frames for each extent are gathered in one pass, and GPU translations are
+installed or shot down per extent.  Fault counts, per-page counters, and
+stall/work microseconds are identical to the historical page-by-page
+walk — only the number of Python-level operations changes.
 """
 
 from __future__ import annotations
@@ -84,6 +91,24 @@ class Kfd:
         self.pages_bulk_mapped = 0
         self.shootdowns = 0
 
+    # -- shared plumbing ----------------------------------------------------
+    def _cpu_frames(self, rng: AddressRange, what: str) -> List[int]:
+        """CPU-table frames for every page of ``rng``; raises if any page
+        has no CPU translation (the GPU cannot replay what the OS never
+        mapped)."""
+        frames: List[int] = []
+        cursor = rng.page_span(self.page_size)[0]
+        for start, run_frames, _ in self.cpu_pt.present_runs(rng):
+            if start != cursor:
+                break
+            frames.extend(run_frames)
+            cursor = start + len(run_frames) * self.page_size
+        if cursor < rng.end:
+            raise GpuMemoryError(
+                f"{what} 0x{cursor:x} with no CPU translation"
+            )
+        return frames
+
     # -- XNACK replay (GPU-initiated) ------------------------------------
     def service_xnack_faults(self, ranges: List[AddressRange]) -> FaultResult:
         """Install translations for every missing page of the given host
@@ -95,20 +120,16 @@ class Kfd:
         """
         n = 0
         for rng in ranges:
-            for page in rng.pages(self.page_size):
-                if self.gpu_pt.present(page):
-                    continue
+            for gap in self.gpu_pt.missing_runs(rng):
                 if not self.xnack_enabled:
                     raise GpuMemoryError(
-                        f"GPU touched unmapped page 0x{page:x} with XNACK disabled"
+                        f"GPU touched unmapped page 0x{gap.start:x} "
+                        "with XNACK disabled"
                     )
-                cpu_pte = self.cpu_pt.lookup(page)
-                if cpu_pte is None:
-                    raise GpuMemoryError(
-                        f"GPU touched page 0x{page:x} with no CPU translation"
-                    )
-                self.gpu_pt.install(page, cpu_pte.frame, MapOrigin.XNACK_REPLAY)
-                n += 1
+                frames = self._cpu_frames(gap, "GPU touched page")
+                n += self.gpu_pt.install_range(
+                    gap, frames, MapOrigin.XNACK_REPLAY
+                )
         self.xnack_faults_serviced += n
         stall = 0.0
         if n:
@@ -119,42 +140,37 @@ class Kfd:
 
     def count_missing_pages(self, ranges: List[AddressRange]) -> int:
         """How many pages a kernel touching these ranges would fault on."""
-        n = 0
-        for rng in ranges:
-            for page in rng.pages(self.page_size):
-                if not self.gpu_pt.present(page):
-                    n += 1
-        return n
+        return sum(self.gpu_pt.coverage(rng)[1] for rng in ranges)
+
+    def has_missing_pages(self, ranges: List[AddressRange]) -> bool:
+        """Early-exit presence probe: True as soon as any page of any
+        range lacks a GPU translation (the Eager-Maps fast/slow path
+        decision only needs the boolean, not the count)."""
+        return any(self.gpu_pt.coverage(rng)[1] for rng in ranges)
 
     # -- ROCr pool path (bulk, XNACK-disabled style) -----------------------
     def bulk_map_new_memory(self, nbytes: int) -> Tuple[AddressRange, float]:
         """Allocate fresh driver memory for the ROCr pool.
 
-        Allocates frames, installs GPU translations in bulk, and returns
-        the new range plus the driver-side work time (per-page: page-table
-        writes + zeroing).
+        Allocates frames, installs GPU translations in bulk (one run),
+        and returns the new range plus the driver-side work time
+        (per-page: page-table writes + zeroing).
         """
         if nbytes <= 0:
             raise ValueError(f"pool growth must be positive, got {nbytes}")
         size = align_up(nbytes, self.page_size)
         rng = AddressRange(self._pool_cursor, nbytes)
         self._pool_cursor += size
-        n_pages = 0
-        for page in rng.pages(self.page_size):
-            frame = self.physical.alloc_frame()
-            self.gpu_pt.install(page, frame, MapOrigin.BULK_ALLOC)
-            n_pages += 1
+        frames = self.physical.alloc_frames(rng.n_pages(self.page_size))
+        n_pages = self.gpu_pt.install_range(rng, frames, MapOrigin.BULK_ALLOC)
         self.pages_bulk_mapped += n_pages
         return rng, n_pages * self.cost.pool_alloc_page_us
 
     def release_pool_memory(self, rng: AddressRange) -> float:
-        """Return pool memory to the driver; GPU translations die."""
-        frames = []
-        n = 0
-        for page in rng.pages(self.page_size):
-            pte = self.gpu_pt.evict(page)
-            frames.append(pte.frame)
-            n += 1
+        """Return pool memory to the driver; GPU translations die.
+
+        One batched evict — no per-page membership test + re-pop."""
+        n, frames = self.gpu_pt.evict_range_frames(rng)
         self.physical.free_frames(frames)
         return n * self.cost.pool_release_page_us
 
@@ -162,22 +178,15 @@ class Kfd:
     def prefault(self, rng: AddressRange) -> PrefaultResult:
         """Host-initiated GPU page-table prefault over a host range.
 
-        Missing pages are walked in the CPU table and installed; present
+        Missing extents are walked in the CPU table and installed; present
         pages cost a (syscall-side) verification.  The caller wraps this
         in a traced ``svm_attributes_set`` syscall.
         """
-        n_new = n_present = 0
-        for page in rng.pages(self.page_size):
-            if self.gpu_pt.present(page):
-                n_present += 1
-                continue
-            cpu_pte = self.cpu_pt.lookup(page)
-            if cpu_pte is None:
-                raise GpuMemoryError(
-                    f"prefault of page 0x{page:x} with no CPU translation"
-                )
-            self.gpu_pt.install(page, cpu_pte.frame, MapOrigin.PREFAULT)
-            n_new += 1
+        n_new = 0
+        for gap in self.gpu_pt.missing_runs(rng):
+            frames = self._cpu_frames(gap, "prefault of page")
+            n_new += self.gpu_pt.install_range(gap, frames, MapOrigin.PREFAULT)
+        n_present = rng.n_pages(self.page_size) - n_new
         self.pages_prefaulted += n_new
         work = (
             n_new * self.cost.prefault_page_us
@@ -192,5 +201,5 @@ class Kfd:
         Frames are owned (and freed) by the OS allocator for host memory;
         the driver only drops its translations.
         """
-        evicted = self.gpu_pt.evict_range(rng)
-        self.shootdowns += len(evicted)
+        n, _ = self.gpu_pt.evict_range_frames(rng)
+        self.shootdowns += n

@@ -16,8 +16,10 @@ from .report import (
     render_table2,
     render_table3,
 )
+from .bench import BenchEntry, BenchReport, run_bench, write_bench
 from .deepdive import EagerVsIzc, eager_vs_izc_analysis
-from .runner import RatioResult, execute, ratio_experiment
+from .parallel import CellOutcome, ExperimentCell, run_cells
+from .runner import RatioResult, assemble_ratio, execute, ratio_experiment
 from .tables import (
     PAPER_TABLE2,
     Table1Result,
@@ -29,6 +31,10 @@ from .tables import (
 )
 
 __all__ = [
+    "BenchEntry",
+    "BenchReport",
+    "CellOutcome",
+    "ExperimentCell",
     "FIG_SIZES",
     "FIG_THREADS",
     "PAPER_TABLE2",
@@ -39,12 +45,16 @@ __all__ = [
     "Table3Result",
     "EagerVsIzc",
     "ascii_chart",
+    "assemble_ratio",
     "collect_qmcpack_grid",
     "eager_vs_izc_analysis",
     "execute",
     "fig3_series",
     "fig4_series",
     "ratio_experiment",
+    "run_bench",
+    "run_cells",
+    "write_bench",
     "render_fig3",
     "render_fig4",
     "render_table1",

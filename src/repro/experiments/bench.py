@@ -1,0 +1,345 @@
+"""``python -m repro bench`` — micro/meso benchmark harness.
+
+Three tiers, each emitting ``{name, wall_s, sim_events, events_per_s}``
+entries into ``BENCH.json``:
+
+* **pagetable micro** — a translation workout (OS populate, XNACK fault
+  service, prefault verify, bulk pool map/release, free + mmu shootdown)
+  driven through the real :class:`~repro.driver.kfd.Kfd` /
+  :class:`~repro.memory.os_alloc.OsAllocator` stack, once on the
+  run-coalesced :class:`~repro.memory.pagetable.PageTable` and once on
+  the historical :class:`~repro.memory.pagetable.FlatPageTable` — the
+  speedup ratio is the headline number for the range engine;
+* **meso** — one QMCPack NiO run end-to-end (events/s of the simulation
+  engine as a whole);
+* **experiment** — a full ``ratio_experiment`` serial vs. ``--jobs N``,
+  which doubles as the parallel-equivalence check.
+
+Wall-clock numbers are hardware-dependent and never gate anything; the
+**run-equivalence invariants** do (CI fails on them):
+
+* run-table vs. flat-table parity on a randomized operation sequence
+  (identical present/missing pages, per-origin histograms, per-page
+  install/evict counters);
+* ``jobs=N`` ratio-experiment summaries, ledgers, and event counts
+  bit-identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Tuple
+
+from ..core.config import ZERO_COPY_CONFIGS, RuntimeConfig
+from ..core.params import CostModel
+from ..driver.kfd import Kfd
+from ..memory.layout import AddressRange
+from ..memory.os_alloc import OsAllocator
+from ..memory.pagetable import FlatPageTable, MapOrigin, PageTable
+from ..memory.physical import PhysicalMemory
+from ..workloads.base import Fidelity
+from ..workloads.qmcpack import QmcPackNio
+from .runner import execute, ratio_experiment
+
+__all__ = ["BenchEntry", "BenchReport", "run_bench", "pagetable_parity"]
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One benchmark measurement (the BENCH.json entry schema)."""
+
+    name: str
+    wall_s: float
+    sim_events: int
+    events_per_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "sim_events": self.sim_events,
+            "events_per_s": self.events_per_s,
+        }
+
+
+@dataclass
+class BenchReport:
+    """Everything one bench invocation produced."""
+
+    quick: bool
+    jobs: int
+    entries: List[BenchEntry] = field(default_factory=list)
+    #: derived ratios (e.g. flat/runs pagetable wall-clock)
+    speedups: Dict[str, float] = field(default_factory=dict)
+    #: named invariants; *these* gate CI, timing never does
+    equivalence: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.equivalence.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro-bench-v1",
+            "quick": self.quick,
+            "jobs": self.jobs,
+            "entries": [e.to_dict() for e in self.entries],
+            "speedups": self.speedups,
+            "equivalence": self.equivalence,
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+
+    def render(self) -> str:
+        lines = [
+            f"repro bench ({'quick' if self.quick else 'full'}, jobs={self.jobs})",
+            "",
+            f"  {'benchmark':<34} {'wall_s':>9} {'events':>10} {'events/s':>12}",
+        ]
+        for e in self.entries:
+            lines.append(
+                f"  {e.name:<34} {e.wall_s:>9.4f} {e.sim_events:>10d} "
+                f"{e.events_per_s:>12.0f}"
+            )
+        lines.append("")
+        for name, ratio in self.speedups.items():
+            lines.append(f"  speedup {name}: {ratio:.2f}x")
+        for name, passed in self.equivalence.items():
+            lines.append(f"  equivalence {name}: {'PASS' if passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pagetable micro tier
+# ---------------------------------------------------------------------------
+
+
+def _translation_workout(table_cls, n_pages: int, iters: int) -> int:
+    """Drive every paper mechanism through a fresh driver stack built on
+    ``table_cls``; returns the number of page-granular operations."""
+    cost = CostModel()
+    ps = cost.page_size
+    physical = PhysicalMemory(
+        total_bytes=max(4 * n_pages, 64) * ps, frame_bytes=ps
+    )
+    cpu_pt = table_cls(ps, "bench-cpu")
+    gpu_pt = table_cls(ps, "bench-gpu")
+    kfd = Kfd(cost, physical, cpu_pt, gpu_pt)
+    os_alloc = OsAllocator(physical, cpu_pt, on_unmap=kfd.mmu_unmap)
+    nbytes = n_pages * ps
+    ops = 0
+    for _ in range(iters):
+        rng = os_alloc.alloc(nbytes)            # OS populate (install)
+        kfd.service_xnack_faults([rng])         # XNACK replay (install)
+        kfd.prefault(rng)                       # Eager verify pass
+        dev, _ = kfd.bulk_map_new_memory(nbytes)  # bulk pool map
+        kfd.release_pool_memory(dev)            # bulk evict
+        os_alloc.free(rng)                      # evict + mmu shootdown
+        ops += 6 * n_pages
+    return ops
+
+
+def _bench_pagetables(
+    n_pages: int, iters: int
+) -> Tuple[List[BenchEntry], Dict[str, float]]:
+    entries = []
+    walls = {}
+    for label, cls in (("runs", PageTable), ("flat", FlatPageTable)):
+        t0 = time.perf_counter()
+        ops = _translation_workout(cls, n_pages, iters)
+        wall = time.perf_counter() - t0
+        walls[label] = wall
+        entries.append(
+            BenchEntry(
+                name=f"pagetable_{label}_micro_{n_pages}p",
+                wall_s=wall,
+                sim_events=ops,
+                events_per_s=ops / wall if wall > 0 else 0.0,
+            )
+        )
+    speedup = walls["flat"] / walls["runs"] if walls["runs"] > 0 else 0.0
+    return entries, {"pagetable_runs_vs_flat": speedup}
+
+
+# ---------------------------------------------------------------------------
+# parity invariant (run engine vs. flat reference)
+# ---------------------------------------------------------------------------
+
+
+def _observable_state(pt, probe: AddressRange):
+    return (
+        len(pt),
+        sorted(pt.pages()),
+        pt.missing_pages(probe),
+        pt.present_pages(probe),
+        pt.coverage(probe),
+        [(s, f, o.value) for s, f, o in pt.present_runs(probe)],
+        [(r.start, r.nbytes) for r in pt.missing_runs(probe)],
+        pt.frames_for(probe),
+        {o.value: n for o, n in pt.origins_histogram().items()},
+        pt.install_count,
+        pt.evict_count,
+    )
+
+
+def pagetable_parity(seed: int = 7, rounds: int = 300) -> bool:
+    """Randomized differential test: apply one operation sequence to both
+    engines and compare every observable after each step."""
+    import random
+
+    rnd = random.Random(seed)
+    ps = 4096  # small page size keeps arithmetic honest without big loops
+    span_pages = 64
+    probe = AddressRange(0, span_pages * ps)
+    runs = PageTable(ps, "runs")
+    flat = FlatPageTable(ps, "flat")
+    origins = list(MapOrigin)
+    for step in range(rounds):
+        op = rnd.random()
+        start = rnd.randrange(span_pages) * ps
+        n = rnd.randrange(1, min(9, span_pages - start // ps + 1))
+        rng = AddressRange(start, n * ps)
+        origin = rnd.choice(origins)
+        frames = [rnd.randrange(1 << 20) for _ in range(n)]
+        if op < 0.45:
+            outcomes = []
+            for pt in (runs, flat):
+                try:
+                    pt.install_range(rng, frames, origin)
+                    outcomes.append("ok")
+                except KeyError as exc:
+                    # errors carry the table name; compare the page only
+                    outcomes.append("err:" + str(exc).split(" already")[0])
+            if outcomes[0] != outcomes[1]:
+                return False
+        elif op < 0.75:
+            a = runs.evict_range(rng)
+            b = flat.evict_range(rng)
+            if a != b:
+                return False
+        elif op < 0.9:
+            outcomes = []
+            for pt in (runs, flat):
+                try:
+                    outcomes.append(("pte", pt.evict(start)))
+                except KeyError:
+                    outcomes.append(("err",))
+            if outcomes[0] != outcomes[1]:
+                return False
+        else:
+            na, fa = runs.evict_range_frames(rng)
+            nb, fb = flat.evict_range_frames(rng)
+            if (na, fa) != (nb, fb):
+                return False
+        if _observable_state(runs, probe) != _observable_state(flat, probe):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    jobs: int = 4,
+    progress=None,
+) -> BenchReport:
+    """Run every tier; returns the report (``report.ok`` gates CI)."""
+    report = BenchReport(quick=quick, jobs=jobs)
+
+    def note(msg):
+        if progress is not None:
+            progress(msg)
+
+    # -- tier 1: pagetable micro-ops ------------------------------------
+    n_pages, iters = (256, 30) if quick else (1024, 60)
+    note(f"pagetable micro ({n_pages} pages x {iters} iters)")
+    entries, speedups = _bench_pagetables(n_pages, iters)
+    report.entries.extend(entries)
+    report.speedups.update(speedups)
+
+    note("pagetable parity (randomized differential)")
+    report.equivalence["pagetable_parity"] = pagetable_parity()
+
+    # -- tier 2: one QMCPack run ----------------------------------------
+    size = 8 if quick else 32
+    fidelity = Fidelity.TEST if quick else Fidelity.BENCH
+    note(f"qmcpack S{size} single run")
+    t0 = time.perf_counter()
+    run = execute(
+        QmcPackNio(size=size, n_threads=8, fidelity=fidelity),
+        RuntimeConfig.IMPLICIT_ZERO_COPY,
+    )
+    wall = time.perf_counter() - t0
+    report.entries.append(
+        BenchEntry(
+            name=f"qmcpack_s{size}_izc",
+            wall_s=wall,
+            sim_events=run.sim_events,
+            events_per_s=run.sim_events / wall if wall > 0 else 0.0,
+        )
+    )
+
+    # -- tier 3: full ratio experiment, serial vs parallel ---------------
+    reps = 2 if quick else 4
+    exp_size = 2 if quick else 32
+    exp_fidelity = Fidelity.TEST if quick else Fidelity.BENCH
+    factory = partial(
+        QmcPackNio, size=exp_size, n_threads=4, fidelity=exp_fidelity
+    )
+    configs = [RuntimeConfig.COPY] + list(ZERO_COPY_CONFIGS)
+    results = {}
+    walls = {}
+    for label, n_jobs in (("serial", 1), (f"jobs{jobs}", jobs)):
+        note(f"ratio experiment S{exp_size} x {reps} reps ({label})")
+        t0 = time.perf_counter()
+        results[label] = ratio_experiment(
+            factory, configs, reps=reps, jobs=n_jobs
+        )
+        walls[label] = time.perf_counter() - t0
+        report.entries.append(
+            BenchEntry(
+                name=f"ratio_qmcpack_s{exp_size}_{label}",
+                wall_s=walls[label],
+                sim_events=results[label].sim_events,
+                events_per_s=(
+                    results[label].sim_events / walls[label]
+                    if walls[label] > 0
+                    else 0.0
+                ),
+            )
+        )
+    serial, par = results["serial"], results[f"jobs{jobs}"]
+    report.speedups["ratio_parallel_vs_serial"] = (
+        walls["serial"] / walls[f"jobs{jobs}"] if walls[f"jobs{jobs}"] > 0 else 0.0
+    )
+    report.equivalence["parallel_summary_identical"] = (
+        json.dumps(serial.summary(), sort_keys=True)
+        == json.dumps(par.summary(), sort_keys=True)
+    )
+    report.equivalence["parallel_ledgers_identical"] = (
+        serial.ledgers == par.ledgers and serial.sim_events == par.sim_events
+    )
+    return report
+
+
+def write_bench(
+    path: str = "BENCH.json",
+    *,
+    quick: bool = False,
+    jobs: int = 4,
+    progress=None,
+) -> BenchReport:
+    """Run the bench and persist BENCH.json (the CI entry point)."""
+    report = run_bench(quick=quick, jobs=jobs, progress=progress)
+    report.write_json(path)
+    return report

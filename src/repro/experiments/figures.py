@@ -12,13 +12,15 @@ computes it once and the two figure builders slice it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import ZERO_COPY_CONFIGS, RuntimeConfig
 from ..core.params import CostModel
 from ..workloads.base import Fidelity
 from ..workloads.qmcpack import QmcPackNio
-from .runner import RatioResult, ratio_experiment
+from .parallel import ExperimentCell, run_cells
+from .runner import RatioResult, assemble_ratio
 
 __all__ = ["QmcPackGrid", "collect_qmcpack_grid", "fig3_series", "fig4_series"]
 
@@ -61,26 +63,54 @@ def collect_qmcpack_grid(
     cost: Optional[CostModel] = None,
     configs: Sequence[RuntimeConfig] = ZERO_COPY_CONFIGS,
     progress=None,
+    jobs: int = 1,
+    seed0: int = 1000,
 ) -> QmcPackGrid:
     """Run the full QMCPack measurement grid (the data behind Figs. 3+4).
 
     QMCPack runs 4 repetitions per cell in the paper (§V); ratios use
     steady-state time, matching §V.A.1's note that the figures exclude
     initialization.
+
+    Every ``(size, threads, config, rep)`` cell is independent, so
+    ``jobs > 1`` fans the *whole grid* out over a process pool at once
+    (not one ratio experiment at a time); results are bit-identical to
+    the serial order for any ``jobs``.
     """
     grid = QmcPackGrid(fidelity=fidelity, reps=reps)
     all_configs = [RuntimeConfig.COPY] + list(configs)
+    cells = []
     for size in sizes:
         for t in threads:
             if progress is not None:
                 progress(f"qmcpack S{size} x {t} threads")
-            grid.cells[(size, t)] = ratio_experiment(
-                lambda s=size, t=t: QmcPackNio(size=s, n_threads=t, fidelity=fidelity),
+            factory = partial(
+                QmcPackNio, size=size, n_threads=t, fidelity=fidelity
+            )
+            cells.extend(
+                ExperimentCell(
+                    key=(size, t, config, rep),
+                    factory=factory,
+                    config=config,
+                    seed=seed0 + rep,
+                    metric="steady_us",
+                    noise=noise,
+                    cost=cost,
+                )
+                for config in all_configs
+                for rep in range(reps)
+            )
+    outcomes = run_cells(cells, jobs=jobs)
+    for size in sizes:
+        for t in threads:
+            name = QmcPackNio(size=size, n_threads=t, fidelity=fidelity).name
+            grid.cells[(size, t)] = assemble_ratio(
+                name,
                 all_configs,
+                reps,
+                outcomes,
                 metric="steady_us",
-                reps=reps,
-                noise=noise,
-                cost=cost,
+                key=lambda config, rep, s=size, t=t: (s, t, config, rep),
             )
     return grid
 

@@ -12,6 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import ZERO_COPY_CONFIGS, RuntimeConfig
@@ -20,7 +21,8 @@ from ..trace.analysis import HsaCallRow, OverheadRow, hsa_call_comparison, overh
 from ..workloads.base import Fidelity
 from ..workloads.qmcpack import QmcPackNio
 from ..workloads.specaccel import ALL_BENCHMARKS, Ep452, Stencil403
-from .runner import execute, ratio_experiment
+from .parallel import ExperimentCell, run_cells
+from .runner import assemble_ratio, execute
 
 __all__ = [
     "Table1Result",
@@ -140,25 +142,46 @@ def table2_specaccel(
     noise: bool = True,
     cost: Optional[CostModel] = None,
     progress=None,
+    jobs: int = 1,
+    seed0: int = 1000,
 ) -> Table2Result:
     """Regenerate Table II (8 repetitions, medians, as in §V).
 
     Uses total execution time: the SPEC corner cases are start-up and
     allocation effects, which steady-state windows would hide.
+
+    ``jobs > 1`` fans every (benchmark, config, rep) cell out over one
+    process pool; results are bit-identical to the serial order.
     """
     result = Table2Result(reps=reps, fidelity=fidelity)
     configs = [RuntimeConfig.COPY] + list(ZERO_COPY_CONFIGS)
+    cells = []
     for name in benchmarks:
         if progress is not None:
             progress(f"specaccel {name}")
-        cls = ALL_BENCHMARKS[name]
-        ratio = ratio_experiment(
-            lambda cls=cls: cls(fidelity=fidelity),
+        factory = partial(ALL_BENCHMARKS[name], fidelity=fidelity)
+        cells.extend(
+            ExperimentCell(
+                key=(name, config, rep),
+                factory=factory,
+                config=config,
+                seed=seed0 + rep,
+                metric="elapsed_us",
+                noise=noise,
+                cost=cost,
+            )
+            for config in configs
+            for rep in range(reps)
+        )
+    outcomes = run_cells(cells, jobs=jobs)
+    for name in benchmarks:
+        ratio = assemble_ratio(
+            name,
             configs,
+            reps,
+            outcomes,
             metric="elapsed_us",
-            reps=reps,
-            noise=noise,
-            cost=cost,
+            key=lambda config, rep, n=name: (n, config, rep),
         )
         result.ratios[name] = ratio.ratios()
         result.covs[name] = {cfg: ratio.cov(cfg) for cfg in configs}

@@ -87,9 +87,8 @@ class OsAllocator:
         else:
             raise AllocationError(f"unknown region {region!r}")
         rng = AddressRange(start, nbytes)
-        for page in rng.pages(self.page_size):
-            frame = self.physical.alloc_frame()
-            self.cpu_pt.install(page, frame, MapOrigin.OS_TOUCH)
+        frames = self.physical.alloc_frames(rng.n_pages(self.page_size))
+        self.cpu_pt.install_range(rng, frames, MapOrigin.OS_TOUCH)
         self._live[start] = rng
         self.alloc_count += 1
         return rng
@@ -104,10 +103,11 @@ class OsAllocator:
             raise AllocationError(f"free of unknown or mismatched range {rng}")
         if self.on_unmap is not None:
             self.on_unmap(rng)
-        frames = []
-        for page in rng.pages(self.page_size):
-            pte = self.cpu_pt.evict(page)
-            frames.append(pte.frame)
+        n, frames = self.cpu_pt.evict_range_frames(rng)
+        if n != rng.n_pages(self.page_size):
+            raise AllocationError(
+                f"free of {rng} found only {n} CPU translations"
+            )
         self.physical.free_frames(frames)
         self.free_count += 1
 

@@ -81,13 +81,34 @@ class PhysicalMemory:
         return frame
 
     def alloc_frames(self, count: int) -> List[int]:
+        """Allocate ``count`` frames in one batch.
+
+        Same LIFO recycle order as ``count`` calls to :meth:`alloc_frame`
+        (free list drained newest-first, then fresh identifiers), but
+        without the per-frame bookkeeping loop — the bulk-map and
+        allocation paths hand whole runs of frames to the page tables.
+        """
         if count < 0:
             raise ValueError(f"negative frame count: {count}")
         if self._in_use + count > self.total_frames:
             raise OutOfMemoryError(
                 f"HBM exhausted: need {count} frames, only {self.frames_free} free"
             )
-        return [self.alloc_frame() for _ in range(count)]
+        recycled = min(len(self._free), count)
+        frames: List[int] = []
+        if recycled:
+            frames = self._free[-recycled:]
+            frames.reverse()
+            del self._free[-recycled:]
+        fresh = count - recycled
+        if fresh:
+            frames.extend(range(self._next_fresh, self._next_fresh + fresh))
+            self._next_fresh += fresh
+        self._in_use += count
+        self.alloc_count += count
+        if self._in_use > self.peak_frames:
+            self.peak_frames = self._in_use
+        return frames
 
     def free_frame(self, frame: int) -> None:
         if frame < 0 or frame >= self._next_fresh:
@@ -99,5 +120,12 @@ class PhysicalMemory:
         self._free.append(frame)
 
     def free_frames(self, frames: List[int]) -> None:
+        """Release a batch of frames (validated up front, one extend)."""
         for f in frames:
-            self.free_frame(f)
+            if f < 0 or f >= self._next_fresh:
+                raise ValueError(f"unknown frame {f}")
+        self._in_use -= len(frames)
+        self.free_count += len(frames)
+        if self._in_use < 0:
+            raise RuntimeError("double free detected: negative frame occupancy")
+        self._free.extend(frames)

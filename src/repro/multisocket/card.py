@@ -64,6 +64,12 @@ class _SocketMemory(PhysicalMemory):
     def free_frame(self, frame: int) -> None:
         super().free_frame(frame - self._tag)
 
+    def alloc_frames(self, count: int) -> List[int]:
+        return [f + self._tag for f in super().alloc_frames(count)]
+
+    def free_frames(self, frames: List[int]) -> None:
+        super().free_frames([f - self._tag for f in frames])
+
 
 def frame_owner(frame: int) -> int:
     """Which socket's HBM a frame belongs to."""

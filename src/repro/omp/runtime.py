@@ -82,6 +82,9 @@ class RunResult:
     marks: Dict[str, float] = field(default_factory=dict)
     peak_hbm_bytes: int = 0
     outputs: Dict[str, object] = field(default_factory=dict)
+    #: discrete-event count the run pushed through the simulation engine
+    #: (throughput denominator for ``repro bench``)
+    sim_events: int = 0
 
     @property
     def steady_us(self) -> float:
@@ -235,6 +238,7 @@ class OpenMPRuntime:
             marks=dict(self.marks),
             peak_hbm_bytes=self.system.physical.peak_bytes,
             outputs=outputs or {},
+            sim_events=env.processed_events,
         )
 
     # hook used by OmpThread at kernel completion

@@ -239,12 +239,11 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
 
-    __slots__ = ("events", "_n_done")
+    __slots__ = ("events",)
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self.events = list(events)
-        self._n_done = 0
         if not self.events:
             self.succeed({})
             return
@@ -254,14 +253,15 @@ class _Condition(Event):
     def _check(self, ev: Event) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
-    def _collect(self) -> dict:
-        return {e: e._value for e in self.events if e.processed or e.triggered}
-
 
 class AllOf(_Condition):
     """Fires when every constituent event has fired; value is {event: value}."""
 
-    __slots__ = ()
+    __slots__ = ("_n_done",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        self._n_done = 0
+        super().__init__(env, events)
 
     def _check(self, ev: Event) -> None:
         if self.triggered:

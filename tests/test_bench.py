@@ -1,0 +1,123 @@
+"""``python -m repro bench`` harness: schema, invariants, CLI gating.
+
+One quick bench run is shared across the module (it executes real
+simulations); the CLI exit-code tests stub ``write_bench`` so they stay
+cheap.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.bench import (
+    BenchEntry,
+    BenchReport,
+    pagetable_parity,
+    write_bench,
+)
+
+ENTRY_KEYS = {"name", "wall_s", "sim_events", "events_per_s"}
+
+
+@pytest.fixture(scope="module")
+def quick_bench(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH.json"
+    report = write_bench(str(path), quick=True, jobs=2)
+    return report, path
+
+
+def test_bench_json_written_with_schema(quick_bench):
+    report, path = quick_bench
+    data = json.loads(path.read_text())
+    assert data["schema"] == "repro-bench-v1"
+    assert data["quick"] is True
+    assert data["jobs"] == 2
+    assert data["entries"], "bench must record at least one measurement"
+    for entry in data["entries"]:
+        assert set(entry) == ENTRY_KEYS
+        assert entry["wall_s"] > 0
+        assert entry["sim_events"] > 0
+        assert entry["events_per_s"] > 0
+
+
+def test_bench_covers_all_three_tiers(quick_bench):
+    report, _ = quick_bench
+    names = [e.name for e in report.entries]
+    assert any(n.startswith("pagetable_runs_micro") for n in names)
+    assert any(n.startswith("pagetable_flat_micro") for n in names)
+    assert any(n.startswith("qmcpack_") for n in names)
+    assert any("serial" in n for n in names)
+    assert any("jobs" in n for n in names)
+
+
+def test_bench_equivalence_invariants_hold(quick_bench):
+    report, _ = quick_bench
+    assert report.equivalence == {
+        "pagetable_parity": True,
+        "parallel_summary_identical": True,
+        "parallel_ledgers_identical": True,
+    }
+    assert report.ok
+
+
+def test_bench_records_pagetable_speedup(quick_bench):
+    report, _ = quick_bench
+    # timing is recorded but never gated; still, the run engine should
+    # not be slower than the flat dict it replaced
+    assert report.speedups["pagetable_runs_vs_flat"] > 1.0
+    assert "ratio_parallel_vs_serial" in report.speedups
+
+
+def test_bench_render_mentions_invariants(quick_bench):
+    report, _ = quick_bench
+    text = report.render()
+    assert "equivalence pagetable_parity: PASS" in text
+    assert "speedup pagetable_runs_vs_flat" in text
+
+
+def test_report_ok_false_when_any_invariant_fails():
+    report = BenchReport(quick=True, jobs=1)
+    report.equivalence = {"a": True, "b": False}
+    assert not report.ok
+
+
+def test_entry_to_dict_roundtrip():
+    e = BenchEntry(name="x", wall_s=1.5, sim_events=30, events_per_s=20.0)
+    assert e.to_dict() == {
+        "name": "x",
+        "wall_s": 1.5,
+        "sim_events": 30,
+        "events_per_s": 20.0,
+    }
+
+
+def test_pagetable_parity_smoke():
+    assert pagetable_parity(seed=11, rounds=100)
+
+
+def _stub_write_bench(ok: bool):
+    def stub(path, *, quick=False, jobs=4, progress=None):
+        report = BenchReport(quick=quick, jobs=jobs)
+        report.equivalence = {"stub": ok}
+        report.write_json(path)
+        return report
+
+    return stub
+
+
+def test_cli_bench_exits_zero_on_pass(monkeypatch, tmp_path):
+    import repro.experiments.bench as bench_mod
+
+    monkeypatch.setattr(bench_mod, "write_bench", _stub_write_bench(True))
+    path = tmp_path / "BENCH.json"
+    assert main(["bench", "--quick", "--bench-json", str(path)]) == 0
+    assert path.exists()
+
+
+def test_cli_bench_exits_one_on_equivalence_failure(monkeypatch, tmp_path):
+    import repro.experiments.bench as bench_mod
+
+    monkeypatch.setattr(bench_mod, "write_bench", _stub_write_bench(False))
+    path = tmp_path / "BENCH.json"
+    assert main(["bench", "--quick", "--bench-json", str(path)]) == 1

@@ -1,0 +1,117 @@
+"""Parallel experiment fan-out: determinism and fallback behaviour.
+
+The contract is that ``jobs=N`` is an implementation detail: every
+summary statistic (medians, CoVs), every ledger counter, and the total
+simulated event count must be **bit-identical** to the serial run,
+because each (workload, config, rep) cell runs on a fresh system seeded
+only from its cell spec.
+"""
+
+import json
+import warnings
+from functools import partial
+
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.experiments.parallel import (
+    CellOutcome,
+    ExperimentCell,
+    resolve_jobs,
+    run_cells,
+)
+from repro.experiments.runner import ratio_experiment
+from repro.workloads import Ep452, Fidelity, QmcPackNio
+
+CONFIGS = [
+    RuntimeConfig.COPY,
+    RuntimeConfig.IMPLICIT_ZERO_COPY,
+    RuntimeConfig.EAGER_MAPS,
+]
+
+
+def _summaries_equal(a, b) -> bool:
+    return json.dumps(a.summary(), sort_keys=True) == json.dumps(
+        b.summary(), sort_keys=True
+    )
+
+
+def test_qmcpack_parallel_bit_identical_to_serial():
+    factory = partial(QmcPackNio, size=2, n_threads=2, fidelity=Fidelity.TEST)
+    serial = ratio_experiment(factory, CONFIGS, reps=2, jobs=1)
+    par = ratio_experiment(factory, CONFIGS, reps=2, jobs=4)
+    assert _summaries_equal(serial, par)
+    for config in CONFIGS:
+        assert serial.times[config].median == par.times[config].median
+        assert serial.times[config].cov == par.times[config].cov
+        assert serial.ledgers[config] == par.ledgers[config]
+    assert serial.sim_events == par.sim_events
+
+
+def test_specaccel_parallel_bit_identical_to_serial():
+    factory = partial(Ep452, fidelity=Fidelity.TEST)
+    serial = ratio_experiment(
+        factory, CONFIGS, metric="elapsed_us", reps=2, jobs=1
+    )
+    par = ratio_experiment(
+        factory, CONFIGS, metric="elapsed_us", reps=2, jobs=4
+    )
+    assert _summaries_equal(serial, par)
+    for config in CONFIGS:
+        assert serial.ledgers[config] == par.ledgers[config]
+    assert serial.sim_events == par.sim_events
+
+
+def test_run_cells_rejects_duplicate_keys():
+    factory = partial(QmcPackNio, size=2, n_threads=1, fidelity=Fidelity.TEST)
+    cell = ExperimentCell(
+        key=("a", 0), factory=factory, config=RuntimeConfig.COPY, seed=1
+    )
+    with pytest.raises(ValueError):
+        run_cells([cell, cell])
+
+
+def test_run_cells_serial_outcome_shape():
+    factory = partial(QmcPackNio, size=2, n_threads=1, fidelity=Fidelity.TEST)
+    cells = [
+        ExperimentCell(
+            key=("qmc", rep),
+            factory=factory,
+            config=RuntimeConfig.COPY,
+            seed=100 + rep,
+        )
+        for rep in range(2)
+    ]
+    outcomes = run_cells(cells, jobs=1)
+    assert set(outcomes) == {("qmc", 0), ("qmc", 1)}
+    for out in outcomes.values():
+        assert isinstance(out, CellOutcome)
+        assert out.value > 0
+        assert out.sim_events > 0
+        assert isinstance(out.ledger, dict) and out.ledger
+
+
+def test_unpicklable_cells_fall_back_to_serial():
+    # a lambda factory cannot cross a process boundary; run_cells must
+    # warn and still produce the same outcomes serially
+    factory = lambda: QmcPackNio(size=2, n_threads=1, fidelity=Fidelity.TEST)  # noqa: E731
+    cells = [
+        ExperimentCell(
+            key=("lam", rep), factory=factory, config=RuntimeConfig.COPY,
+            seed=5 + rep,
+        )
+        for rep in range(2)
+    ]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        outcomes = run_cells(cells, jobs=4)
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+    reference = run_cells(cells, jobs=1)
+    assert outcomes == reference
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
