@@ -2,7 +2,7 @@
 
 ::
 
-    python -m repro fig3   [--sizes 2,8,32] [--threads 1,2,4,8] [--quick] [--jobs N]
+    python -m repro fig3   [--sizes 2,8,32] [--threads 1,2,4,8] [--quick] [--jobs N] [--cache]
     python -m repro fig4
     python -m repro table1 [--quick]
     python -m repro table2 [--reps 4] [--jobs N]
@@ -16,9 +16,14 @@ all of them) and exits 1 if any finding survives — suitable for CI.
 
 ``--jobs N`` fans the independent (workload, config, repetition) cells
 of an experiment out over N worker processes; results are bit-identical
-to ``--jobs 1``.  ``bench`` times pagetable micro-ops, a QMCPack run and
-a full ratio experiment, writes ``BENCH.json``, and exits 1 if any
-run-equivalence invariant (never a timing) regresses.
+to ``--jobs 1``.  ``--cache`` additionally serves unchanged cells from a
+content-addressed on-disk store (``--cache-dir``), so a warm rerun of
+fig3/fig4/table2 performs zero simulations; any input change (workload
+parameters, cost model, engine version) changes the digest and re-runs
+the cell.  ``bench`` times scheduler/pagetable micro-ops, a QMCPack run
+and a full ratio experiment, runs the fused-vs-reference engine
+differential, writes ``BENCH.json``, and exits 1 if any run-equivalence
+invariant (never a timing) regresses.
 """
 
 from __future__ import annotations
@@ -51,6 +56,15 @@ def _progress(msg: str) -> None:
     print(f"  running {msg}", file=sys.stderr, flush=True)
 
 
+def _cell_cache(args):
+    """The on-disk cell cache, or ``None`` when ``--cache`` is off."""
+    if not getattr(args, "cache", False):
+        return None
+    from .experiments.cache import CellCache
+
+    return CellCache(args.cache_dir)
+
+
 def _fig_grid(args, threads):
     return collect_qmcpack_grid(
         sizes=tuple(args.sizes),
@@ -60,6 +74,7 @@ def _fig_grid(args, threads):
         noise=not args.quick and args.reps > 1,
         progress=_progress,
         jobs=args.jobs,
+        cache=_cell_cache(args),
     )
 
 
@@ -83,6 +98,7 @@ def cmd_table2(args) -> str:
         fidelity=fidelity,
         progress=_progress,
         jobs=args.jobs,
+        cache=_cell_cache(args),
     )
     return render_table2(result)
 
@@ -207,6 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for experiment fan-out (0 = one per CPU); "
         "results are identical for any value",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="for fig3/fig4/table2: serve unchanged experiment cells from "
+        "the content-addressed on-disk cache (composes with --jobs; a "
+        "warm rerun performs zero simulations)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="cell-cache directory (default: .repro-cache)",
     )
     parser.add_argument(
         "--bench-json", default="BENCH.json",

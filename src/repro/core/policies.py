@@ -67,7 +67,7 @@ class DataPolicy:
         performed under the device lock."""
         grant = yield self.rt.lock.acquire()
         try:
-            yield self.env.timeout(self.cost.omp_runtime_call_us)
+            yield self.env.charge(self.cost.omp_runtime_call_us)
         finally:
             self.rt.lock.release(grant)
 
@@ -136,7 +136,7 @@ class CopyPolicy(DataPolicy):
             t_op = self.env.now
             grant = yield self.rt.lock.acquire()
             try:
-                yield self.env.timeout(self.cost.omp_runtime_call_us)
+                yield self.env.charge(self.cost.omp_runtime_call_us)
                 entry = self.table.lookup(buf)
                 is_new = entry is None
                 if is_new:
@@ -169,7 +169,7 @@ class CopyPolicy(DataPolicy):
             t_op = self.env.now
             grant = yield self.rt.lock.acquire()
             try:
-                yield self.env.timeout(self.cost.omp_runtime_call_us)
+                yield self.env.charge(self.cost.omp_runtime_call_us)
                 entry = self.table.release(buf, delete=clause.kind is MapKind.DELETE)
                 last = entry.refcount == 0
             finally:
@@ -221,7 +221,7 @@ class CopyPolicy(DataPolicy):
         entry = self.table.lookup(buf)
         if entry is None or entry.device is None:
             # motion clauses for absent data are no-ops
-            yield self.env.timeout(self.cost.omp_runtime_call_us)
+            yield self.env.charge(self.cost.omp_runtime_call_us)
             return
         t0 = self.env.now
         if to_device:
@@ -247,7 +247,7 @@ class ZeroCopyPolicy(DataPolicy):
             t_op = self.env.now
             grant = yield self.rt.lock.acquire()
             try:
-                yield self.env.timeout(self.cost.zc_map_call_us)
+                yield self.env.charge(self.cost.zc_map_call_us)
                 entry = self.table.lookup(buf)
                 is_new = entry is None
                 if is_new:
@@ -273,7 +273,7 @@ class ZeroCopyPolicy(DataPolicy):
             t_op = self.env.now
             grant = yield self.rt.lock.acquire()
             try:
-                yield self.env.timeout(self.cost.zc_map_call_us)
+                yield self.env.charge(self.cost.zc_map_call_us)
                 entry = self.table.release(
                     clause.buffer, delete=clause.kind is MapKind.DELETE
                 )
@@ -293,13 +293,13 @@ class ZeroCopyPolicy(DataPolicy):
     def motion_update(self, buf: HostBuffer, to_device: bool):
         """One shared copy of the data: the update is bookkeeping only."""
         buf.check_alive()
-        yield self.env.timeout(self.cost.zc_map_call_us)
+        yield self.env.charge(self.cost.zc_map_call_us)
 
     def global_update(self, glob: GlobalVar):
         """Implicit Z-C / Eager handle globals "as if operating in Copy
         mode" (§IV.C): a system-scope transfer into the device copy."""
         dur = self.cost.copy_us(glob.nbytes)
-        yield self.env.timeout(dur)
+        yield self.env.charge(dur)
         np.copyto(glob.device_view(), glob.host_payload)
         self.hsa.trace.record("memory_copy", self.env.now - dur, dur)
         self.ledger.mm_copy_us += dur
@@ -316,7 +316,7 @@ class UsmPolicy(ZeroCopyPolicy):
     def global_update(self, glob: GlobalVar):
         """The device pointer aliases the host global: mapping a global
         moves no data (runtime bookkeeping only)."""
-        yield self.env.timeout(self.cost.omp_runtime_call_us)
+        yield self.env.charge(self.cost.omp_runtime_call_us)
 
 
 class ImplicitZeroCopyPolicy(ZeroCopyPolicy):

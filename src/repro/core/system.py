@@ -18,15 +18,23 @@ from ..hsa.api import HsaRuntime
 from ..memory.os_alloc import OsAllocator
 from ..memory.pagetable import PageTable
 from ..memory.physical import PhysicalMemory
-from ..sim import Environment, Jitter, RngHub
+from ..sim import Environment, Jitter, ReferenceEnvironment, RngHub
 from ..trace.hsa_trace import HsaTrace
 from .params import CostModel
 
 __all__ = ["ApuSystem"]
 
+_ENGINES = {"fast": Environment, "reference": ReferenceEnvironment}
+
 
 class ApuSystem:
-    """A fully wired single-socket APU simulation."""
+    """A fully wired single-socket APU simulation.
+
+    ``engine`` selects the simulation scheduler: ``"fast"`` (default —
+    charge fusion, event recycling, inlined stepping) or ``"reference"``
+    (the retained one-heap-event-per-delay scheduler).  Both produce
+    bit-identical simulated-time results; the bench differential gates it.
+    """
 
     def __init__(
         self,
@@ -34,10 +42,16 @@ class ApuSystem:
         seed: int = 0,
         detailed_trace: bool = False,
         xnack_enabled: bool = True,
+        engine: str = "fast",
     ):
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
+            )
         self.cost = cost or CostModel()
         self.seed = seed
-        self.env = Environment()
+        self.engine = engine
+        self.env = _ENGINES[engine]()
         self.rng_hub = RngHub(seed)
         self.physical = PhysicalMemory(
             total_bytes=self.cost.hbm_bytes, frame_bytes=self.cost.page_size

@@ -27,6 +27,11 @@ frames for each extent are gathered in one pass, and GPU translations are
 installed or shot down per extent.  Fault counts, per-page counters, and
 stall/work microseconds are identical to the historical page-by-page
 walk — only the number of Python-level operations changes.
+
+The driver itself never touches the simulation clock: every method
+returns *durations* (stall/work microseconds) that the calling layer
+charges, which is what lets the HSA facade fuse them through
+``env.charge(us)`` without this module knowing about the fast path.
 """
 
 from __future__ import annotations

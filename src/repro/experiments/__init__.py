@@ -17,6 +17,7 @@ from .report import (
     render_table3,
 )
 from .bench import BenchEntry, BenchReport, run_bench, write_bench
+from .cache import CACHE_SCHEMA, CellCache, cell_digest
 from .deepdive import EagerVsIzc, eager_vs_izc_analysis
 from .parallel import CellOutcome, ExperimentCell, run_cells
 from .runner import RatioResult, assemble_ratio, execute, ratio_experiment
@@ -33,6 +34,9 @@ from .tables import (
 __all__ = [
     "BenchEntry",
     "BenchReport",
+    "CACHE_SCHEMA",
+    "CellCache",
+    "cell_digest",
     "CellOutcome",
     "ExperimentCell",
     "FIG_SIZES",

@@ -1,33 +1,46 @@
 """``python -m repro bench`` — micro/meso benchmark harness.
 
-Three tiers, each emitting ``{name, wall_s, sim_events, events_per_s}``
-entries into ``BENCH.json``:
+Five tiers, each emitting ``{name, wall_s, sim_events, events_per_s}``
+entries into ``BENCH.json`` (schema ``repro-bench-v2``):
 
+* **scheduler micro** — a host-thread call-chain workout (fused
+  ``env.charge`` chains punctuated by real timeouts) run on the fast
+  :class:`~repro.sim.Environment` and on
+  :class:`~repro.sim.ReferenceEnvironment` — the events/sec ratio is the
+  headline number for the engine fast path;
 * **pagetable micro** — a translation workout (OS populate, XNACK fault
   service, prefault verify, bulk pool map/release, free + mmu shootdown)
   driven through the real :class:`~repro.driver.kfd.Kfd` /
   :class:`~repro.memory.os_alloc.OsAllocator` stack, once on the
   run-coalesced :class:`~repro.memory.pagetable.PageTable` and once on
-  the historical :class:`~repro.memory.pagetable.FlatPageTable` — the
-  speedup ratio is the headline number for the range engine;
+  the historical :class:`~repro.memory.pagetable.FlatPageTable`;
 * **meso** — one QMCPack NiO run end-to-end (events/s of the simulation
   engine as a whole);
 * **experiment** — a full ``ratio_experiment`` serial vs. ``--jobs N``,
-  which doubles as the parallel-equivalence check.
+  which doubles as the parallel-equivalence check;
+* **cell cache** — a small Fig. 3 grid collected cold then warm through
+  a fresh :class:`~repro.experiments.cache.CellCache`.
 
 Wall-clock numbers are hardware-dependent and never gate anything; the
 **run-equivalence invariants** do (CI fails on them):
 
+* fused fast-path engine vs. reference scheduler on a randomized
+  differential (QMCPack + one SPECaccel workload, several configs):
+  final ``env.now``, all ``*_us``/``*_faults`` telemetry, HSA call
+  counts/rows, event counts, and functional kernel outputs bit-identical;
 * run-table vs. flat-table parity on a randomized operation sequence
   (identical present/missing pages, per-origin histograms, per-page
   install/evict counters);
 * ``jobs=N`` ratio-experiment summaries, ledgers, and event counts
-  bit-identical to ``jobs=1``.
+  bit-identical to ``jobs=1``;
+* the warm cache run performs **zero** simulation cells and reproduces
+  the cold run's ratio grid exactly.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 from dataclasses import dataclass, field
 from functools import partial
@@ -40,11 +53,19 @@ from ..memory.layout import AddressRange
 from ..memory.os_alloc import OsAllocator
 from ..memory.pagetable import FlatPageTable, MapOrigin, PageTable
 from ..memory.physical import PhysicalMemory
+from ..sim import Environment, Mutex, ReferenceEnvironment
 from ..workloads.base import Fidelity
 from ..workloads.qmcpack import QmcPackNio
+from ..workloads.specaccel import Stencil403
 from .runner import execute, ratio_experiment
 
-__all__ = ["BenchEntry", "BenchReport", "run_bench", "pagetable_parity"]
+__all__ = [
+    "BenchEntry",
+    "BenchReport",
+    "run_bench",
+    "pagetable_parity",
+    "engine_differential",
+]
 
 
 @dataclass(frozen=True)
@@ -83,7 +104,7 @@ class BenchReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
-            "schema": "repro-bench-v1",
+            "schema": "repro-bench-v2",
             "quick": self.quick,
             "jobs": self.jobs,
             "entries": [e.to_dict() for e in self.entries],
@@ -113,6 +134,192 @@ class BenchReport:
         for name, passed in self.equivalence.items():
             lines.append(f"  equivalence {name}: {'PASS' if passed else 'FAIL'}")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# scheduler micro tier (fused fast path vs. reference engine)
+# ---------------------------------------------------------------------------
+
+
+def _scheduler_workout(env, chains: int, chain_len: int) -> Tuple[float, int]:
+    """A host-thread modeled-call pattern: chains of fixed bookkeeping
+    charges around an uncontended lock, punctuated by real waits.
+
+    This is the shape the HSA facade and the policies produce on one
+    OpenMP host thread — exactly what ``env.charge`` fusion targets.
+    Returns ``(final_now, processed_events)``.
+    """
+    lock = Mutex(env)
+
+    def worker():
+        for i in range(chains):
+            for _ in range(chain_len):
+                yield env.charge(0.25)
+            grant = yield lock.acquire()
+            try:
+                yield env.charge(0.5)
+            finally:
+                lock.release(grant)
+            if i % 8 == 0:
+                yield env.timeout(2.0)
+
+    env.run(env.process(worker(), name="sched-workout"))
+    return env.now, env.processed_events
+
+
+def _bench_scheduler(
+    chains: int, chain_len: int
+) -> Tuple[List[BenchEntry], Dict[str, float], Dict[str, bool]]:
+    entries = []
+    walls = {}
+    observed = {}
+    for label, cls in (("fused", Environment), ("reference", ReferenceEnvironment)):
+        env = cls()
+        t0 = time.perf_counter()
+        observed[label] = _scheduler_workout(env, chains, chain_len)
+        wall = time.perf_counter() - t0
+        walls[label] = wall
+        _, events = observed[label]
+        entries.append(
+            BenchEntry(
+                name=f"scheduler_{label}_micro_{chains}c",
+                wall_s=wall,
+                sim_events=events,
+                events_per_s=events / wall if wall > 0 else 0.0,
+            )
+        )
+    speedup = (
+        walls["reference"] / walls["fused"] if walls["fused"] > 0 else 0.0
+    )
+    equivalence = {
+        "scheduler_micro_identical": observed["fused"] == observed["reference"]
+    }
+    return entries, {"scheduler_fused_vs_reference": speedup}, equivalence
+
+
+def engine_differential(seed: int = 11, quick: bool = False) -> bool:
+    """Randomized differential: fused fast-path engine vs. the reference
+    scheduler on real workloads.
+
+    QMCPack NiO and one SPECaccel proxy (403.stencil), several runtime
+    configurations, randomized per-case seeds.  Every simulated-time
+    observable must be bit-identical: final clock, init/steady/elapsed
+    times, phase marks, ledger telemetry (``*_us``/fault counts), HSA
+    call rows, engine event counts, HBM high-water mark, and the
+    functional kernel outputs.
+    """
+    import numpy as np
+
+    rnd = random.Random(seed)
+    fidelity = Fidelity.TEST
+    cases = [
+        (partial(QmcPackNio, size=4, n_threads=2, fidelity=fidelity),
+         RuntimeConfig.COPY),
+        (partial(QmcPackNio, size=4, n_threads=2, fidelity=fidelity),
+         RuntimeConfig.IMPLICIT_ZERO_COPY),
+        (partial(Stencil403, fidelity=fidelity),
+         RuntimeConfig.EAGER_MAPS),
+        (partial(Stencil403, fidelity=fidelity),
+         RuntimeConfig.UNIFIED_SHARED_MEMORY),
+    ]
+    if quick:
+        cases = cases[1:3]
+    for factory, config in cases:
+        case_seed = rnd.randrange(1 << 30)
+        sides = {}
+        for eng in ("fast", "reference"):
+            workload = factory()
+            run = execute(
+                workload, config, seed=case_seed, noise=True, engine=eng
+            )
+            sides[eng] = (
+                run.elapsed_us,
+                run.init_us,
+                run.steady_us,
+                run.sim_events,
+                run.peak_hbm_bytes,
+                dict(run.marks),
+                run.ledger.summary(),
+                run.hsa_trace.as_rows(),
+                {k: np.asarray(v).tobytes()
+                 for k, v in sorted(workload.outputs.values.items())},
+            )
+        if sides["fast"] != sides["reference"]:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# cell cache tier (cold vs. warm)
+# ---------------------------------------------------------------------------
+
+
+def _bench_cell_cache(
+    jobs: int,
+) -> Tuple[List[BenchEntry], Dict[str, float], Dict[str, bool]]:
+    """Collect a small Fig. 3 grid cold then warm through a fresh cache."""
+    import shutil
+    import tempfile
+
+    from .cache import CellCache
+    from .figures import collect_qmcpack_grid
+
+    root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    entries = []
+    walls = {}
+    grids = {}
+    caches = {}
+    try:
+        for label in ("cold", "warm"):
+            cache = CellCache(root)
+            t0 = time.perf_counter()
+            grid = collect_qmcpack_grid(
+                sizes=(2,),
+                threads=(1, 2),
+                fidelity=Fidelity.TEST,
+                reps=2,
+                noise=True,
+                jobs=jobs,
+                cache=cache,
+            )
+            wall = time.perf_counter() - t0
+            walls[label] = wall
+            grids[label] = grid
+            caches[label] = cache
+            events = sum(r.sim_events for r in grid.cells.values())
+            entries.append(
+                BenchEntry(
+                    name=f"fig3_cache_{label}",
+                    wall_s=wall,
+                    sim_events=events,
+                    events_per_s=events / wall if wall > 0 else 0.0,
+                )
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    speedups = {
+        "cache_warm_vs_cold": (
+            walls["cold"] / walls["warm"] if walls["warm"] > 0 else 0.0
+        )
+    }
+    summaries = {
+        label: {
+            str(key): ratio.summary()
+            for key, ratio in sorted(grid.cells.items())
+        }
+        for label, grid in grids.items()
+    }
+    equivalence = {
+        # a warm run must simulate nothing: every cell served from disk
+        "cache_warm_zero_cells": (
+            caches["warm"].misses == 0 and caches["warm"].stores == 0
+        ),
+        "cache_values_identical": (
+            json.dumps(summaries["cold"], sort_keys=True)
+            == json.dumps(summaries["warm"], sort_keys=True)
+        ),
+    }
+    return entries, speedups, equivalence
 
 
 # ---------------------------------------------------------------------------
@@ -260,6 +467,19 @@ def run_bench(
         if progress is not None:
             progress(msg)
 
+    # -- tier 0: scheduler micro (fused vs reference engine) ------------
+    chains, chain_len = (5000, 8) if quick else (20000, 8)
+    note(f"scheduler micro ({chains} chains x {chain_len} charges)")
+    entries, speedups, equivalence = _bench_scheduler(chains, chain_len)
+    report.entries.extend(entries)
+    report.speedups.update(speedups)
+    report.equivalence.update(equivalence)
+
+    note("engine differential (fused vs reference, randomized)")
+    report.equivalence["scheduler_differential"] = engine_differential(
+        quick=quick
+    )
+
     # -- tier 1: pagetable micro-ops ------------------------------------
     n_pages, iters = (256, 30) if quick else (1024, 60)
     note(f"pagetable micro ({n_pages} pages x {iters} iters)")
@@ -329,6 +549,13 @@ def run_bench(
     report.equivalence["parallel_ledgers_identical"] = (
         serial.ledgers == par.ledgers and serial.sim_events == par.sim_events
     )
+
+    # -- tier 5: cell cache cold vs warm --------------------------------
+    note("cell cache (fig3 grid, cold vs warm)")
+    entries, speedups, equivalence = _bench_cell_cache(jobs)
+    report.entries.extend(entries)
+    report.speedups.update(speedups)
+    report.equivalence.update(equivalence)
     return report
 
 

@@ -65,6 +65,7 @@ def collect_qmcpack_grid(
     progress=None,
     jobs: int = 1,
     seed0: int = 1000,
+    cache=None,
 ) -> QmcPackGrid:
     """Run the full QMCPack measurement grid (the data behind Figs. 3+4).
 
@@ -75,7 +76,10 @@ def collect_qmcpack_grid(
     Every ``(size, threads, config, rep)`` cell is independent, so
     ``jobs > 1`` fans the *whole grid* out over a process pool at once
     (not one ratio experiment at a time); results are bit-identical to
-    the serial order for any ``jobs``.
+    the serial order for any ``jobs``.  ``cache`` (a
+    :class:`~repro.experiments.cache.CellCache`) serves unchanged cells
+    from disk — a warm rerun regenerates both figures with zero
+    simulations.
     """
     grid = QmcPackGrid(fidelity=fidelity, reps=reps)
     all_configs = [RuntimeConfig.COPY] + list(configs)
@@ -100,7 +104,7 @@ def collect_qmcpack_grid(
                 for config in all_configs
                 for rep in range(reps)
             )
-    outcomes = run_cells(cells, jobs=jobs)
+    outcomes = run_cells(cells, jobs=jobs, cache=cache)
     for size in sizes:
         for t in threads:
             name = QmcPackNio(size=size, n_threads=t, fidelity=fidelity).name

@@ -107,16 +107,43 @@ def run_cells(
     *,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    cache=None,
 ) -> Dict[Hashable, CellOutcome]:
     """Execute every cell and return ``{key: outcome}``.
 
     Results are bit-identical for any ``jobs`` value: cells carry their
     own seeds and run on fresh systems, so scheduling order is
     irrelevant, and the caller re-assembles by key in its own order.
+
+    ``cache`` (a :class:`~repro.experiments.cache.CellCache`) composes
+    with ``jobs``: cached cells are served from disk, only the misses
+    fan out over the pool, and every fresh outcome is persisted.  The
+    cache is content-addressed, so a hit is by construction the outcome
+    the simulation would have produced.
     """
     keys = [c.key for c in cells]
     if len(set(keys)) != len(keys):
         raise ValueError("duplicate experiment-cell keys")
+    if cache is not None:
+        from .cache import cell_digest
+
+        digests = {cell.key: cell_digest(cell) for cell in cells}
+        out = {}
+        misses = []
+        for cell in cells:
+            got = cache.get(digests[cell.key])
+            if got is not None:
+                out[cell.key] = got
+            else:
+                misses.append(cell)
+        if progress is not None and cells:
+            progress(f"cache: {len(out)} hits, {len(misses)} misses")
+        if misses:
+            fresh = run_cells(misses, jobs=jobs, progress=progress)
+            for cell in misses:
+                cache.put(digests[cell.key], fresh[cell.key])
+            out.update(fresh)
+        return out
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(cells) <= 1:
         return _run_serial(cells, progress)

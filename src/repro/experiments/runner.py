@@ -46,12 +46,19 @@ def execute(
     noise: bool = False,
     kernel_trace: bool = False,
     detailed_trace: bool = False,
+    engine: str = "fast",
 ) -> RunResult:
-    """Run one workload under one configuration on a fresh system."""
+    """Run one workload under one configuration on a fresh system.
+
+    ``engine="reference"`` runs the retained per-timeout scheduler; the
+    bench differential uses it to pin the fast path's equivalence.
+    """
     c = cost or CostModel()
     if noise:
         c = c.with_noise()
-    system = ApuSystem(cost=c, seed=seed, detailed_trace=detailed_trace)
+    system = ApuSystem(
+        cost=c, seed=seed, detailed_trace=detailed_trace, engine=engine
+    )
     runtime = OpenMPRuntime(system, config, kernel_trace=kernel_trace)
     prepare = getattr(workload, "prepare", None)
     if prepare is not None:
@@ -146,6 +153,7 @@ def ratio_experiment(
     seed0: int = 1000,
     jobs: int = 1,
     progress=None,
+    cache=None,
 ) -> RatioResult:
     """The paper's measurement protocol for one workload.
 
@@ -157,6 +165,10 @@ def ratio_experiment(
     factory must be picklable for ``jobs > 1`` (use ``functools.partial``
     over a workload class, not a lambda) or the runner falls back to the
     serial path with a warning.
+
+    ``cache`` (a :class:`~repro.experiments.cache.CellCache`) serves
+    previously computed cells from disk and persists the fresh ones;
+    only cache misses are simulated (and fanned out over ``jobs``).
     """
     from .parallel import ExperimentCell, run_cells
 
@@ -176,7 +188,7 @@ def ratio_experiment(
         for config in configs
         for rep in range(reps)
     ]
-    outcomes = run_cells(cells, jobs=jobs, progress=progress)
+    outcomes = run_cells(cells, jobs=jobs, progress=progress, cache=cache)
     return assemble_ratio(
         first.name, configs, reps, outcomes, baseline=baseline, metric=metric
     )

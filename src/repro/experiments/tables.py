@@ -144,6 +144,7 @@ def table2_specaccel(
     progress=None,
     jobs: int = 1,
     seed0: int = 1000,
+    cache=None,
 ) -> Table2Result:
     """Regenerate Table II (8 repetitions, medians, as in §V).
 
@@ -152,6 +153,7 @@ def table2_specaccel(
 
     ``jobs > 1`` fans every (benchmark, config, rep) cell out over one
     process pool; results are bit-identical to the serial order.
+    ``cache`` serves unchanged cells from disk (content-addressed).
     """
     result = Table2Result(reps=reps, fidelity=fidelity)
     configs = [RuntimeConfig.COPY] + list(ZERO_COPY_CONFIGS)
@@ -173,7 +175,7 @@ def table2_specaccel(
             for config in configs
             for rep in range(reps)
         )
-    outcomes = run_cells(cells, jobs=jobs)
+    outcomes = run_cells(cells, jobs=jobs, cache=cache)
     for name in benchmarks:
         ratio = assemble_ratio(
             name,

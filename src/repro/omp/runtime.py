@@ -9,6 +9,12 @@ table, device environment) and a small number of pool allocations (9 for
 the runtime itself plus 10 per registered host thread for queues, signal
 pools and kernarg regions; the paper reports 19 calls with one thread and
 90 with eight).
+
+The runtime's fixed bookkeeping delays flow through ``env.charge(us)``
+(see :mod:`repro.sim.core`): sequential libomptarget/HSA call costs on a
+host thread fuse into one clock adjustment, and :attr:`RunResult.sim_events`
+still counts one event per charge, so run telemetry is bit-identical
+between the fast and reference engines.
 """
 
 from __future__ import annotations

@@ -4,18 +4,22 @@ Public surface:
 
 * :class:`Environment`, :class:`Event`, :class:`Timeout`, :class:`Process`,
   :class:`AllOf`, :class:`AnyOf` — the core engine (``repro.sim.core``).
+* :class:`ReferenceEnvironment` — the retained pre-fast-path scheduler
+  used by the ``repro bench`` fused-vs-reference differential.
 * :class:`Resource`, :class:`Mutex` — contention primitives
   (``repro.sim.resources``).
 * :class:`RngHub`, :class:`Jitter` — reproducible noise (``repro.sim.rng``).
 """
 
 from .core import (
+    ENGINE_VERSION,
     AllOf,
     AnyOf,
     Environment,
     Event,
     Interrupt,
     Process,
+    ReferenceEnvironment,
     SimulationError,
     Timeout,
 )
@@ -23,6 +27,7 @@ from .resources import Grant, Mutex, Resource
 from .rng import Jitter, RngHub
 
 __all__ = [
+    "ENGINE_VERSION",
     "AllOf",
     "AnyOf",
     "Environment",
@@ -32,6 +37,7 @@ __all__ = [
     "Jitter",
     "Mutex",
     "Process",
+    "ReferenceEnvironment",
     "Resource",
     "RngHub",
     "SimulationError",

@@ -12,9 +12,34 @@ Design constraints that shaped this module:
   schedule order (a monotonically increasing sequence number breaks ties).
   There is no wall-clock anywhere; repeated runs are bit-identical.
 * **Throughput.**  QMCPack full-fidelity runs push a few million events
-  through the queue, so the hot path (schedule/pop/callback) avoids
-  allocation beyond the event objects themselves and uses ``heapq`` on
-  plain tuples.
+  through the queue, so the hot path is engineered around three costs:
+
+  - *allocation*: processed :class:`Timeout` and bootstrap :class:`Event`
+    objects are recycled through per-environment free lists.  Recycling is
+    gated on ``sys.getrefcount`` — an object is only reclaimed when the
+    engine holds the sole remaining reference — so user-held events keep
+    their historical semantics, and a generation counter stored in every
+    heap entry makes any engine-internal stale reference fail loudly
+    instead of silently firing a reincarnated event.
+  - *heap traffic*: uncontended fixed delays are **fused**.  Modeled code
+    yields ``env.charge(us)`` instead of ``env.timeout(us)``; charges
+    accumulate in a scalar as long as no other scheduled event falls
+    inside the charged window (strict comparison, so exact-time ties
+    still interleave exactly as separate timeouts would) and settle —
+    one clock jump, no heap event — before anything observable: reading
+    ``env.now``, scheduling any event, or suspending on a real event.
+    A contended charge falls back to a real per-charge timeout, which is
+    byte-for-byte the reference behaviour.
+  - *dispatch*: ``run(until=Event)`` inlines the pop/advance/process
+    loop with hoisted locals instead of calling :meth:`step` per event.
+
+* **Auditability.**  :class:`ReferenceEnvironment` retains the historical
+  one-heap-event-per-delay scheduler (the ``FlatPageTable`` precedent):
+  ``charge`` degrades to a real timeout and nothing is recycled or fused.
+  Both engines count one processed event per charge, so
+  ``processed_events`` — and every simulated-time observable — is
+  bit-identical between them; ``repro bench`` pins that equivalence with
+  a randomized differential.
 * **Debuggability.**  Failures inside a process propagate to whoever waits
   on it, and unhandled failures abort :meth:`Environment.run` with the
   original traceback.
@@ -23,10 +48,12 @@ Design constraints that shaped this module:
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount as _getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
     "Environment",
+    "ReferenceEnvironment",
     "Event",
     "Timeout",
     "Process",
@@ -34,7 +61,13 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "ENGINE_VERSION",
 ]
+
+#: Bumped whenever engine changes could alter simulated-time arithmetic or
+#: event accounting.  Part of the experiment cell-cache key: a cached
+#: result can never be served across an engine whose numbers might differ.
+ENGINE_VERSION = 2
 
 
 class SimulationError(RuntimeError):
@@ -57,6 +90,27 @@ class Interrupt(Exception):
 PENDING = 0
 TRIGGERED = 1  # scheduled, sitting in the queue
 PROCESSED = 2  # callbacks have run
+RECYCLED = 3   # returned to the environment's free list
+
+
+class _Charge:
+    """Marker yielded by :meth:`Environment.charge`.
+
+    Not an event: the process trampoline consumes it inline (accumulating
+    the charged microseconds) without touching the heap.  Yielding it
+    anywhere else — e.g. into :class:`AllOf` — fails immediately.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<charge marker (yield only from a Process)>"
+
+
+_CHARGE = _Charge()
+
+#: free lists are bounded so a one-off burst cannot pin memory forever
+_POOL_MAX = 1024
 
 
 class Event:
@@ -67,19 +121,23 @@ class Event:
     and, when its time arrives, runs all registered callbacks exactly once.
     """
 
-    __slots__ = ("env", "callbacks", "_state", "_value", "_ok")
+    __slots__ = ("env", "callbacks", "_state", "_value", "_ok", "_era")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self.callbacks: List[Optional[Callable[["Event"], None]]] = []
         self._state = PENDING
         self._value: Any = None
         self._ok = True
+        #: generation counter: bumped when the event is recycled, recorded
+        #: in every heap entry, checked on pop — stale queue entries for a
+        #: recycled event raise instead of firing the new incarnation.
+        self._era = 0
 
     # -- inspection ------------------------------------------------------
     @property
     def triggered(self) -> bool:
-        return self._state >= TRIGGERED
+        return self._state == TRIGGERED or self._state == PROCESSED
 
     @property
     def processed(self) -> bool:
@@ -94,11 +152,15 @@ class Event:
     def value(self) -> Any:
         if self._state == PENDING:
             raise SimulationError("event value read before it was triggered")
+        if self._state == RECYCLED:
+            raise SimulationError("stale reference: event was recycled")
         return self._value
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         if self._state != PENDING:
+            if self._state == RECYCLED:
+                raise SimulationError("stale reference: event was recycled")
             raise SimulationError("event already triggered")
         self._state = TRIGGERED
         self._value = value
@@ -108,6 +170,8 @@ class Event:
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
         if self._state != PENDING:
+            if self._state == RECYCLED:
+                raise SimulationError("stale reference: event was recycled")
             raise SimulationError("event already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() expects an exception instance")
@@ -126,6 +190,8 @@ class Event:
         """
         if self._state == PROCESSED:
             fn(self)
+        elif self._state == RECYCLED:
+            raise SimulationError("stale reference: event was recycled")
         else:
             self.callbacks.append(fn)
 
@@ -133,10 +199,12 @@ class Event:
         self._state = PROCESSED
         callbacks, self.callbacks = self.callbacks, []
         for fn in callbacks:
-            fn(self)
+            if fn is not None:  # None = tombstone left by Process.interrupt
+                fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        state = {PENDING: "pending", TRIGGERED: "triggered",
+                 PROCESSED: "processed", RECYCLED: "recycled"}
         return f"<{type(self).__name__} {state[self._state]} at t={self.env.now}>"
 
 
@@ -162,9 +230,15 @@ class Process(Event):
     succeeds, its value is sent back into the generator; when it fails, the
     exception is thrown into the generator (giving it a chance to handle
     failure).  The process event's value is the generator's return value.
+
+    Generators may also yield the marker returned by
+    :meth:`Environment.charge`: the trampoline consumes it inline (see the
+    module docstring) and resumes the generator immediately with ``None``
+    — exactly the value a plain ``Timeout`` would have delivered.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "name")
+    __slots__ = ("_gen", "_waiting_on", "_waiting_slot", "_interrupt_ev",
+                 "_cb", "name")
 
     def __init__(self, env: "Environment", gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
@@ -172,40 +246,87 @@ class Process(Event):
         super().__init__(env)
         self._gen = gen
         self._waiting_on: Optional[Event] = None
+        self._waiting_slot = -1
+        self._interrupt_ev: Optional[Event] = None
+        #: one bound method reused for every registration — avoids a fresh
+        #: method object per wait and makes interrupt's tombstone check an
+        #: identity test
+        self._cb = self._resume
         self.name = name or getattr(gen, "__name__", "process")
         # Bootstrap: start executing at the current time.
-        init = Event(env)
-        init.succeed()
-        init.add_callback(self._resume)
+        env._bootstrap(self._cb)
 
     @property
     def is_alive(self) -> bool:
         return self._state == PENDING
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Detaching the process from whatever it was waiting on is O(1): the
+        registration slot recorded at suspension is tombstoned (set to
+        ``None``) instead of searched-and-removed.  Interrupting a process
+        whose previous interrupt wakeup is still queued is an error — the
+        second wakeup would resume the generator a second time while it is
+        already running its interrupt handler (a silent double-resume in
+        the historical engine).
+        """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        prior = self._interrupt_ev
+        if prior is not None and prior._state != PROCESSED:
+            raise SimulationError(
+                f"process {self.name!r} already has a queued interrupt "
+                "wakeup (double interrupt before delivery)"
+            )
         target = self._waiting_on
-        if target is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        if target is not None:
+            slot = self._waiting_slot
+            cbs = target.callbacks
+            if 0 <= slot < len(cbs) and cbs[slot] is self._cb:
+                cbs[slot] = None  # O(1) tombstone; _process skips it
         self._waiting_on = None
+        self._waiting_slot = -1
         wakeup = Event(self.env)
+        self._interrupt_ev = wakeup
         wakeup.fail(Interrupt(cause))
-        wakeup.add_callback(self._resume)
+        wakeup.add_callback(self._cb)
 
     def _resume(self, trigger: Event) -> None:
         # Iterative resume loop: if the yielded event is already processed we
         # feed its value straight back in rather than recursing through
         # add_callback — a process draining a long list of completed signals
-        # must not grow the Python stack.
+        # must not grow the Python stack.  Charge markers are consumed in
+        # the inner loop without ever suspending the generator.
+        env = self.env
+        gen = self._gen
+        send = gen.send
         while True:
             self._waiting_on = None
+            self._waiting_slot = -1
+            if trigger is self._interrupt_ev:
+                self._interrupt_ev = None
             try:
-                if trigger.ok:
-                    nxt = self._gen.send(trigger.value)
+                if trigger._ok:
+                    nxt = send(trigger._value)
                 else:
-                    nxt = self._gen.throw(trigger._value)
+                    nxt = gen.throw(trigger._value)
+                while nxt is _CHARGE:
+                    d = env._charge_val
+                    q = env._queue
+                    # Uncontended: nothing else scheduled inside the charged
+                    # window (strictly — an exact-time tie must interleave in
+                    # FIFO order, which needs a real heap event).
+                    if not q or q[0][0] > env._now + env._pending + d:
+                        env._pending += d
+                        env._pending_n += 1
+                        nxt = send(None)
+                    else:
+                        # Contended fallback: one real timeout.  Creating it
+                        # settles the accumulator first (via _schedule), so
+                        # it lands at exactly the reference engine's time.
+                        nxt = env.timeout(d)
+                        break
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -223,13 +344,24 @@ class Process(Event):
                 raise SimulationError(
                     f"process {self.name!r} yielded {type(nxt).__name__}, expected Event"
                 )
-            if nxt.env is not self.env:
+            if nxt.env is not env:
                 raise SimulationError("yielded event belongs to a different Environment")
-            if nxt._state == PROCESSED:
+            state = nxt._state
+            if state == PROCESSED:
                 trigger = nxt
                 continue
+            if state == RECYCLED:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a recycled event "
+                    "(stale reference)"
+                )
+            # Suspending on a real event: settle fused charges first so the
+            # clock the next event fires against is fully advanced.
+            if env._pending:
+                env._settle()
             self._waiting_on = nxt
-            nxt.add_callback(self._resume)
+            self._waiting_slot = len(nxt.callbacks)
+            nxt.callbacks.append(self._cb)
             return
 
     def _anyone_cares(self) -> bool:
@@ -293,23 +425,87 @@ class Environment:
 
     Time is a float in **microseconds**.  All scheduling goes through
     :meth:`_schedule`; user code creates events with :meth:`event`,
-    :meth:`timeout` and :meth:`process`.
+    :meth:`timeout`, :meth:`charge` and :meth:`process`.
+
+    Reading :attr:`now` settles any fused-but-unsettled charges of the
+    currently executing process, so the clock is always fully advanced at
+    every observable point — the fusion invariant the differential bench
+    pins.
     """
 
-    __slots__ = ("now", "_queue", "_seq", "_event_count")
+    __slots__ = ("_now", "_queue", "_seq", "_event_count",
+                 "_pending", "_pending_n", "_charge_val",
+                 "_timeout_pool", "_event_pool")
 
     def __init__(self, initial_time: float = 0.0):
-        self.now: float = float(initial_time)
+        self._now: float = float(initial_time)
         self._queue: List[tuple] = []
         self._seq = 0
         self._event_count = 0
+        # fused-charge accumulator (owned by the running process)
+        self._pending = 0.0
+        self._pending_n = 0
+        self._charge_val = 0.0
+        # free lists of recycled event objects
+        self._timeout_pool: List[Timeout] = []
+        self._event_pool: List[Event] = []
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        if self._pending:
+            self._settle()
+        return self._now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        if self._pending:
+            self._settle()
+        self._now = value
+
+    def _settle(self) -> None:
+        """Fold accumulated charges into the clock.
+
+        Safe whenever the accumulation invariant holds (no scheduled event
+        inside the charged window, maintained by :meth:`charge` and
+        :meth:`_schedule`); each fused charge counts as one processed
+        event so ``processed_events`` matches the reference engine.
+        """
+        self._now += self._pending
+        self._event_count += self._pending_n
+        self._pending = 0.0
+        self._pending_n = 0
 
     # -- factories --------------------------------------------------------
     def event(self) -> Event:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool and value is None:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            t = pool.pop()
+            t._state = TRIGGERED
+            t._ok = True
+            t.delay = delay
+            self._schedule(t, delay)
+            return t
         return Timeout(self, delay, value)
+
+    def charge(self, delay: float):
+        """Consume ``delay`` fused microseconds: ``yield env.charge(us)``.
+
+        Semantically identical to ``yield env.timeout(us)`` (including the
+        ``None`` value delivered to the generator), but back-to-back
+        uncontended charges coalesce into a single clock adjustment with
+        no heap traffic.  Under :class:`ReferenceEnvironment` this *is* a
+        plain timeout.
+        """
+        if delay < 0:
+            raise ValueError(f"negative charge delay: {delay}")
+        self._charge_val = delay
+        return _CHARGE
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name)
@@ -322,26 +518,71 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if self._pending:
+            self._settle()
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event._era, event))
+
+    def _bootstrap(self, fn: Callable[[Event], None]) -> Event:
+        """An immediately-succeeding event carrying a process's first resume
+        (recycled through the event free list)."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev._state = TRIGGERED
+            ev._ok = True
+            self._schedule(ev, 0.0)
+            ev.callbacks.append(fn)
+            return ev
+        ev = Event(self)
+        ev.succeed()
+        ev.add_callback(fn)
+        return ev
 
     @property
     def processed_events(self) -> int:
-        """Total number of events processed so far (diagnostics)."""
+        """Total number of events processed so far (diagnostics).
+
+        Fused charges count one each, so the total matches the reference
+        engine event-for-event.
+        """
+        if self._pending:
+            self._settle()
         return self._event_count
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._pending:
+            self._settle()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        t, _, event = heapq.heappop(self._queue)
-        if t < self.now:
+        t, _seq, era, event = heapq.heappop(self._queue)
+        if era != event._era:
+            raise SimulationError(
+                "stale heap entry: event was recycled while scheduled"
+            )
+        if t < self._now:
             raise SimulationError("time went backwards; corrupted queue")
-        self.now = t
+        self._now = t
         self._event_count += 1
         event._process()
+        # Recycle iff the engine held the only reference (local + arg = 2):
+        # user-held events keep their full post-processing semantics.
+        cls = event.__class__
+        if cls is Timeout:
+            if _getrefcount(event) == 2 and len(self._timeout_pool) < _POOL_MAX:
+                event._state = RECYCLED
+                event._era += 1
+                event._value = None
+                self._timeout_pool.append(event)
+        elif cls is Event:
+            if _getrefcount(event) == 2 and len(self._event_pool) < _POOL_MAX:
+                event._state = RECYCLED
+                event._era += 1
+                event._value = None
+                self._event_pool.append(event)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until ``until`` fires (an Event), until time ``until`` (a
@@ -351,7 +592,98 @@ class Environment:
         """
         if isinstance(until, Event):
             stop = until
-            while not stop.triggered or not stop.processed:
+            # Inlined stepping loop: hoists the queue, heap pop, free lists
+            # and the refcount probe into locals, and batches the processed
+            # counter — per-event method dispatch through step() costs ~25%
+            # on charge-light runs.
+            q = self._queue
+            pop = heapq.heappop
+            tpool = self._timeout_pool
+            epool = self._event_pool
+            getref = _getrefcount
+            count = 0
+            try:
+                while stop._state != PROCESSED:
+                    if not q:
+                        raise SimulationError(
+                            f"event queue drained before {stop!r} fired (deadlock?)"
+                        )
+                    t, _seq, era, event = pop(q)
+                    if era != event._era:
+                        raise SimulationError(
+                            "stale heap entry: event was recycled while scheduled"
+                        )
+                    if t < self._now:
+                        raise SimulationError("time went backwards; corrupted queue")
+                    self._now = t
+                    count += 1
+                    event._process()
+                    cls = event.__class__
+                    if cls is Timeout:
+                        if getref(event) == 2 and len(tpool) < _POOL_MAX:
+                            event._state = RECYCLED
+                            event._era += 1
+                            event._value = None
+                            tpool.append(event)
+                    elif cls is Event:
+                        if getref(event) == 2 and len(epool) < _POOL_MAX:
+                            event._state = RECYCLED
+                            event._era += 1
+                            event._value = None
+                            epool.append(event)
+            finally:
+                self._event_count += count
+            if not stop.ok:
+                raise stop._value
+            return stop._value
+        if until is not None:
+            horizon = float(until)
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self.now = max(self.now, horizon)
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+
+class ReferenceEnvironment(Environment):
+    """The retained pre-fast-path scheduler (differential reference).
+
+    Every delay is its own heap-scheduled :class:`Timeout` (``charge``
+    degrades to one), nothing is recycled, and stepping goes through the
+    un-inlined per-event loop.  Kept — like ``FlatPageTable`` — so a
+    randomized differential can pin the fast path's equivalence on every
+    simulated-time observable, including ``processed_events``.
+    """
+
+    __slots__ = ()
+
+    def charge(self, delay: float) -> Timeout:
+        # Validation (including delay < 0) happens in Timeout.__init__.
+        return Timeout(self, delay)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def _bootstrap(self, fn: Callable[[Event], None]) -> Event:
+        ev = Event(self)
+        ev.succeed()
+        ev.add_callback(fn)
+        return ev
+
+    def step(self) -> None:
+        t, _seq, _era, event = heapq.heappop(self._queue)
+        if t < self._now:
+            raise SimulationError("time went backwards; corrupted queue")
+        self._now = t
+        self._event_count += 1
+        event._process()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        if isinstance(until, Event):
+            stop = until
+            while stop._state != PROCESSED:
                 if not self._queue:
                     raise SimulationError(
                         f"event queue drained before {stop!r} fired (deadlock?)"

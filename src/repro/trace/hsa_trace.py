@@ -82,14 +82,25 @@ class HsaTrace:
             return None
         return mine / theirs
 
-    def merge(self, other: "HsaTrace") -> "HsaTrace":
-        """Combined trace (e.g. summing repetitions)."""
-        out = HsaTrace(detailed=False)
+    def merge(self, other: "HsaTrace", detailed: Optional[bool] = None) -> "HsaTrace":
+        """Combined trace (e.g. summing repetitions).
+
+        ``detailed`` defaults to "both inputs are detailed": merging two
+        timeline-bearing traces keeps their events (self's first, then
+        other's — timeline order within each input is preserved).  Pass
+        ``detailed=False`` to force a stats-only merge, or ``True`` to
+        keep whatever events the inputs carry.
+        """
+        if detailed is None:
+            detailed = self.detailed and other.detailed
+        out = HsaTrace(detailed=detailed)
         for src in (self, other):
             for name, st in src.stats.items():
                 dst = out.stats.setdefault(name, CallStats())
                 dst.count += st.count
                 dst.total_us += st.total_us
+            if detailed:
+                out.events.extend(src.events)
         return out
 
     def as_rows(self) -> List[tuple]:

@@ -13,6 +13,7 @@ from repro.cli import main
 from repro.experiments.bench import (
     BenchEntry,
     BenchReport,
+    engine_differential,
     pagetable_parity,
     write_bench,
 )
@@ -30,7 +31,7 @@ def quick_bench(tmp_path_factory):
 def test_bench_json_written_with_schema(quick_bench):
     report, path = quick_bench
     data = json.loads(path.read_text())
-    assert data["schema"] == "repro-bench-v1"
+    assert data["schema"] == "repro-bench-v2"
     assert data["quick"] is True
     assert data["jobs"] == 2
     assert data["entries"], "bench must record at least one measurement"
@@ -41,32 +42,46 @@ def test_bench_json_written_with_schema(quick_bench):
         assert entry["events_per_s"] > 0
 
 
-def test_bench_covers_all_three_tiers(quick_bench):
+def test_bench_covers_all_tiers(quick_bench):
     report, _ = quick_bench
     names = [e.name for e in report.entries]
+    assert any(n.startswith("scheduler_fused_micro") for n in names)
+    assert any(n.startswith("scheduler_reference_micro") for n in names)
     assert any(n.startswith("pagetable_runs_micro") for n in names)
     assert any(n.startswith("pagetable_flat_micro") for n in names)
     assert any(n.startswith("qmcpack_") for n in names)
     assert any("serial" in n for n in names)
     assert any("jobs" in n for n in names)
+    assert "fig3_cache_cold" in names
+    assert "fig3_cache_warm" in names
 
 
 def test_bench_equivalence_invariants_hold(quick_bench):
     report, _ = quick_bench
     assert report.equivalence == {
+        "scheduler_micro_identical": True,
+        "scheduler_differential": True,
         "pagetable_parity": True,
         "parallel_summary_identical": True,
         "parallel_ledgers_identical": True,
+        "cache_warm_zero_cells": True,
+        "cache_values_identical": True,
     }
     assert report.ok
 
 
-def test_bench_records_pagetable_speedup(quick_bench):
+def test_bench_records_speedups(quick_bench):
     report, _ = quick_bench
-    # timing is recorded but never gated; still, the run engine should
-    # not be slower than the flat dict it replaced
+    # timing is recorded but never gated; still, the replacements should
+    # not be slower than the engines they replaced
     assert report.speedups["pagetable_runs_vs_flat"] > 1.0
+    assert report.speedups["scheduler_fused_vs_reference"] > 1.0
+    assert report.speedups["cache_warm_vs_cold"] > 1.0
     assert "ratio_parallel_vs_serial" in report.speedups
+
+
+def test_engine_differential_smoke():
+    assert engine_differential(seed=23, quick=True)
 
 
 def test_bench_render_mentions_invariants(quick_bench):

@@ -41,3 +41,22 @@ def test_out_file(tmp_path, capsys):
     path = tmp_path / "report.txt"
     assert main(["table3", "--quick", "--out", str(path)]) == 0
     assert "Table III" in path.read_text()
+
+
+def test_cache_flag_parsing():
+    parser = build_parser()
+    args = parser.parse_args(["fig3", "--cache", "--cache-dir", "/tmp/x"])
+    assert args.cache is True and args.cache_dir == "/tmp/x"
+    assert parser.parse_args(["fig3"]).cache is False
+
+
+def test_fig3_cache_warm_run_identical(tmp_path, capsys):
+    argv = ["fig3", "--quick", "--sizes", "2", "--threads", "1",
+            "--cache", "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    # the cache directory was actually populated
+    assert any((tmp_path / "cache").iterdir())

@@ -1,0 +1,426 @@
+"""Engine fast path: charge fusion, event recycling, O(1) interrupt,
+and the retained reference scheduler."""
+
+import pytest
+
+from repro.sim import (
+    ENGINE_VERSION,
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    Mutex,
+    ReferenceEnvironment,
+    SimulationError,
+)
+
+
+# ---------------------------------------------------------------------------
+# charge fusion
+# ---------------------------------------------------------------------------
+
+
+def test_charge_advances_clock_like_timeout():
+    env = Environment()
+
+    def proc():
+        yield env.charge(3.0)
+        yield env.charge(2.0)
+        yield env.charge(5.0)
+        return env.now
+
+    assert env.run(env.process(proc())) == 10.0
+    assert env.now == 10.0
+
+
+def test_charge_counts_one_event_each():
+    """Fused charges preserve processed_events exactly — the accounting
+    the fused-vs-reference differential relies on."""
+    results = {}
+    for cls in (Environment, ReferenceEnvironment):
+        env = cls()
+
+        def proc():
+            for _ in range(10):
+                yield env.charge(1.0)
+            yield env.timeout(4.0)
+
+        env.run(env.process(proc()))
+        results[cls] = (env.now, env.processed_events)
+    assert results[Environment] == results[ReferenceEnvironment]
+
+
+def test_charge_settles_before_now_read():
+    env = Environment()
+    seen = []
+
+    def proc():
+        yield env.charge(7.0)
+        seen.append(env.now)  # must observe the fully advanced clock
+        yield env.charge(3.0)
+
+    env.run(env.process(proc()))
+    assert seen == [7.0]
+    assert env.now == 10.0
+
+
+def test_charge_settles_before_event_creation():
+    """An event scheduled mid-chain lands at the settled time."""
+    env = Environment()
+    marks = []
+
+    def child():
+        marks.append(("child", env.now))
+        yield env.charge(1.0)
+
+    def proc():
+        yield env.charge(5.0)
+        env.process(child())  # spawned at t=5, not t=0
+        yield env.timeout(10.0)
+        marks.append(("parent", env.now))
+
+    env.run(env.process(proc()))
+    assert marks == [("child", 5.0), ("parent", 15.0)]
+
+
+def test_charge_contended_matches_timeout_interleaving():
+    """When another event falls inside the charged window the charge
+    degrades to a real timeout: cross-process interleaving is identical
+    to the all-timeout schedule, including exact-time ties."""
+
+    def body(env, log, label, use_charge):
+        def proc():
+            for _ in range(4):
+                if use_charge:
+                    yield env.charge(2.0)
+                else:
+                    yield env.timeout(2.0)
+                log.append((label, env.now))
+
+        return proc
+
+    def run(use_charge):
+        env = Environment()
+        log = []
+
+        def main():
+            a = env.process(body(env, log, "a", use_charge)())
+            b = env.process(body(env, log, "b", use_charge)())
+            yield AllOf(env, [a, b])
+
+        env.run(env.process(main()))
+        return log
+
+    assert run(True) == run(False)
+
+
+def test_charge_negative_raises():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.charge(-1.0)
+
+
+def test_charge_marker_rejected_outside_process_yield():
+    env = Environment()
+    marker = env.charge(1.0)
+    with pytest.raises((TypeError, AttributeError)):
+        AllOf(env, [marker])
+
+
+def test_reference_charge_is_plain_timeout():
+    env = ReferenceEnvironment()
+    t = env.charge(4.0)
+    assert t.delay == 4.0
+
+    def proc():
+        yield env.charge(1.0)
+        yield env.charge(2.0)
+
+    env.run(env.process(proc()))
+    assert env.now == 3.0
+
+
+# ---------------------------------------------------------------------------
+# event recycling
+# ---------------------------------------------------------------------------
+
+
+def test_timeouts_are_recycled_when_unreferenced():
+    env = Environment()
+
+    def proc():
+        for _ in range(50):
+            yield env.timeout(1.0)
+
+    env.run(env.process(proc()))
+    assert len(env._timeout_pool) >= 1
+    # pooled objects are marked recycled and unusable
+    stale = env._timeout_pool[-1]
+    with pytest.raises(SimulationError):
+        stale.succeed()
+    with pytest.raises(SimulationError):
+        _ = stale.value
+
+
+def test_user_held_timeout_is_never_recycled():
+    env = Environment()
+    held = []
+
+    def proc():
+        t = env.timeout(2.0, value="payload")
+        held.append(t)
+        yield t
+
+    env.run(env.process(proc()))
+    assert held[0].processed
+    assert held[0].value == "payload"
+    # post-run callback on the held, processed event still fires
+    fired = []
+    held[0].add_callback(lambda ev: fired.append(ev.value))
+    assert fired == ["payload"]
+
+
+def test_yielding_recycled_event_raises():
+    env = Environment()
+
+    def warmup():
+        yield env.timeout(1.0)
+
+    env.run(env.process(warmup()))
+    assert env._timeout_pool
+    stale = env._timeout_pool[-1]
+
+    def proc():
+        yield stale
+
+    with pytest.raises(SimulationError, match="recycled"):
+        env.run(env.process(proc()))
+
+
+def test_recycled_timeout_reuse_is_clean():
+    """A pooled Timeout reinitialized through env.timeout behaves like a
+    fresh one (state, value, delay, scheduling)."""
+    env = Environment()
+
+    def phase1():
+        for _ in range(5):
+            yield env.timeout(1.0)
+
+    env.run(env.process(phase1()))
+    pooled = set(id(t) for t in env._timeout_pool)
+    got = []
+
+    def phase2():
+        t = env.timeout(3.0)
+        got.append((id(t) in pooled, t.delay))
+        start = env.now
+        v = yield t
+        got.append((env.now - start, v))
+
+    env.run(env.process(phase2()))
+    assert got[0] == (True, 3.0)
+    assert got[1] == (3.0, None)
+
+
+# ---------------------------------------------------------------------------
+# O(1) interrupt + double-interrupt protection
+# ---------------------------------------------------------------------------
+
+
+def test_interrupt_detaches_via_tombstone():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append(exc.cause)
+            yield env.timeout(1.0)
+
+    def attacker(p):
+        yield env.timeout(5.0)
+        p.interrupt("bang")
+
+    p = env.process(victim())
+    env.run(env.process(attacker(p)))
+    env.run(p)
+    assert log == ["bang"]
+    assert env.now == 6.0
+    env.run()  # the tombstoned timeout still pops harmlessly at t=100
+    assert env.now == 100.0
+
+
+def test_double_interrupt_before_delivery_raises():
+    env = Environment()
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+
+    def attacker(p):
+        yield env.timeout(1.0)
+        p.interrupt("first")
+        with pytest.raises(SimulationError, match="queued interrupt"):
+            p.interrupt("second")
+
+    p = env.process(victim())
+    env.run(env.process(attacker(p)))
+
+
+def test_reinterrupt_after_delivery_is_allowed():
+    env = Environment()
+    causes = []
+
+    def victim():
+        for _ in range(2):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as exc:
+                causes.append(exc.cause)
+
+    def attacker(p):
+        yield env.timeout(1.0)
+        p.interrupt("one")
+        yield env.timeout(1.0)  # first interrupt delivered in between
+        p.interrupt("two")
+
+    p = env.process(victim())
+    env.run(env.process(attacker(p)))
+    env.run(p)
+    assert causes == ["one", "two"]
+
+
+def test_interrupt_while_waiting_on_allof():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield AllOf(env, [env.timeout(50.0), env.timeout(80.0)])
+            log.append("completed")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, env.now))
+
+    def attacker(p):
+        yield env.timeout(10.0)
+        p.interrupt("allof")
+
+    p = env.process(victim())
+    env.run(env.process(attacker(p)))
+    env.run(p)
+    assert log == [("interrupted", "allof", 10.0)]
+
+
+def test_interrupt_while_waiting_on_anyof():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield AnyOf(env, [env.timeout(50.0), env.timeout(80.0)])
+            log.append("completed")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, env.now))
+
+    def attacker(p):
+        yield env.timeout(10.0)
+        p.interrupt("anyof")
+
+    p = env.process(victim())
+    env.run(env.process(attacker(p)))
+    env.run(p)
+    # the interrupted wait must not fire again when the timeouts complete
+    env.run(until=200.0)
+    assert log == [("interrupted", "anyof", 10.0)]
+
+
+# ---------------------------------------------------------------------------
+# run(until=...) edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_run_until_number_landing_on_event_timestamp():
+    """A horizon equal to a scheduled event's time processes that event
+    and leaves the clock exactly there."""
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(10.0)
+        fired.append(env.now)
+        yield env.timeout(10.0)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run(until=10.0)
+    assert fired == [10.0]
+    assert env.now == 10.0
+    env.run(until=20.0)
+    assert fired == [10.0, 20.0]
+    assert env.now == 20.0
+
+
+def test_run_until_number_settles_pending_charges():
+    env = Environment()
+
+    def proc():
+        yield env.charge(3.0)
+        yield env.timeout(100.0)
+
+    env.process(proc())
+    env.run(until=50.0)
+    assert env.now == 50.0
+
+
+# ---------------------------------------------------------------------------
+# fused engine vs. reference engine equivalence
+# ---------------------------------------------------------------------------
+
+
+def _mixed_workload(env, log):
+    """Charges, timeouts, a mutex handoff, a condition and an interrupt."""
+    lock = Mutex(env)
+
+    def worker(wid):
+        for i in range(5):
+            yield env.charge(0.5 * (wid + 1))
+            grant = yield lock.acquire()
+            try:
+                yield env.charge(1.0)
+            finally:
+                lock.release(grant)
+            log.append((wid, i, env.now))
+        return wid
+
+    def interruptee():
+        try:
+            yield env.timeout(1000.0)
+        except Interrupt:
+            log.append(("intr", env.now))
+
+    def main():
+        procs = [env.process(worker(w)) for w in range(3)]
+        victim = env.process(interruptee())
+        yield env.timeout(2.0)
+        victim.interrupt()
+        got = yield AllOf(env, procs)
+        log.append(("done", env.now, sorted(got.values())))
+
+    return env.process(main())
+
+
+def test_fused_and_reference_engines_bit_identical():
+    logs = {}
+    for cls in (Environment, ReferenceEnvironment):
+        env = cls()
+        log = []
+        env.run(_mixed_workload(env, log))
+        logs[cls] = (log, env.now, env.processed_events)
+    assert logs[Environment] == logs[ReferenceEnvironment]
+
+
+def test_engine_version_exported():
+    assert isinstance(ENGINE_VERSION, int) and ENGINE_VERSION >= 2

@@ -104,6 +104,37 @@ def test_hsa_trace_merge():
     assert m.count("y") == 1
 
 
+def test_hsa_trace_merge_detailed_propagates_events():
+    a, b = HsaTrace(detailed=True), HsaTrace(detailed=True)
+    a.record("x", 0.0, 1.0, tag="a1")
+    b.record("x", 5.0, 2.0, tag="b1")
+    b.record("y", 6.0, 3.0, tag="b2")
+    m = a.merge(b)
+    assert m.detailed
+    assert [e.tag for e in m.events] == ["a1", "b1", "b2"]
+    assert m.count("x") == 2 and m.total_us("y") == 3.0
+
+
+def test_hsa_trace_merge_mixed_detail_drops_events_by_default():
+    a, b = HsaTrace(detailed=True), HsaTrace(detailed=False)
+    a.record("x", 0.0, 1.0)
+    b.record("x", 1.0, 1.0)
+    m = a.merge(b)
+    assert not m.detailed and m.events == []
+    assert m.count("x") == 2
+
+
+def test_hsa_trace_merge_detailed_override():
+    a, b = HsaTrace(detailed=True), HsaTrace(detailed=True)
+    a.record("x", 0.0, 1.0, tag="keepme")
+    b.record("x", 1.0, 1.0)
+    assert a.merge(b, detailed=False).events == []
+    mixed = HsaTrace(detailed=False)
+    mixed.record("y", 0.0, 1.0)
+    m = a.merge(mixed, detailed=True)
+    assert m.detailed and [e.tag for e in m.events] == ["keepme"]
+
+
 def test_hsa_trace_detailed_mode_keeps_events():
     t = HsaTrace(detailed=True)
     t.record("x", 1.0, 2.0, tag="first")
