@@ -41,7 +41,7 @@ def test_fig4_qmcpack_size_scaling(benchmark):
     # monotone-ish decline from S2 to S128
     assert izc[0] > izc[len(izc) // 2] > izc[-1] * 0.99
     # IZC ≈ USM (QMCPack has no globals)
-    for a, b in zip(izc, usm):
+    for a, b in zip(izc, usm, strict=True):
         assert abs(a - b) / a < 0.02
     # Eager trails at small sizes, converges at S128 (§V.A.4)
     assert eager[0] < izc[0]

@@ -8,7 +8,14 @@ Three cooperating analyses over one instrumented (recorded) run:
   refcount underflow, leaks at teardown, double unmap, use-after-unmap
   kernel arguments, ``always`` misuse;
 * **trace race detector** (``races``) — conflicting concurrent map
-  operations and host-write-vs-kernel-read overlaps in the DES trace.
+  operations and host-write-vs-kernel-read overlaps in the DES trace;
+
+plus one purely static analysis over the workload *source*:
+
+* **MapFlow** (``static``) — abstract interpretation of the extracted
+  map-operation IR: per-path refcount tracking, use-after-exit-data,
+  leaks at thread end, uncovered raw-pointer touches — no simulation,
+  no instrumented run (``python -m repro check --static --no-sim``).
 
 Entry points: :func:`check_workload` / :func:`check_named` /
 :func:`check_all`, surfaced on the CLI as ``python -m repro check``.
@@ -27,16 +34,27 @@ from .findings import (
 )
 from .lint import run_lint
 from .races import run_races
-from .registry import WORKLOADS, make_workload, workload_names
+from .registry import (
+    CANONICAL_MATRICES,
+    RULE_FAMILIES,
+    WORKLOADS,
+    dynamic_counterparts,
+    make_workload,
+    static_counterparts,
+    workload_names,
+)
 from .runner import check_all, check_named, check_workload
 from .sanitizer import run_sanitizer
+from .sarif import to_sarif, write_sarif
 
 __all__ = [
     "Analysis",
+    "CANONICAL_MATRICES",
     "CheckRecorder",
     "CheckReport",
     "Finding",
     "RULES",
+    "RULE_FAMILIES",
     "Rule",
     "Severity",
     "WORKLOADS",
@@ -44,6 +62,7 @@ __all__ = [
     "check_all",
     "check_named",
     "check_workload",
+    "dynamic_counterparts",
     "instrument",
     "make_workload",
     "merge_reports",
@@ -52,5 +71,8 @@ __all__ = [
     "run_lint",
     "run_races",
     "run_sanitizer",
+    "static_counterparts",
+    "to_sarif",
     "workload_names",
+    "write_sarif",
 ]

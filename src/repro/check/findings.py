@@ -35,55 +35,83 @@ class Severity(enum.Enum):
 
 
 class Analysis(enum.Enum):
-    """The three cooperating MapCheck analyses."""
+    """The cooperating MapCheck analyses (three dynamic, one static)."""
 
     LINT = "portability-lint"
     SANITIZER = "mapping-sanitizer"
     RACES = "race-detector"
+    STATIC = "static-dataflow"
 
 
 @dataclass(frozen=True)
 class Rule:
-    """One MapCheck rule (stable id, never renumber)."""
+    """One MapCheck rule (stable id, never renumber).
+
+    ``family`` groups dynamic rules with their static (MapFlow)
+    counterparts: a dynamic finding and a static finding with the same
+    family describe the same defect class observed through different
+    analyses (e.g. MC-S01/MC-S03 vs MC-S10 are all family "refcount").
+    """
 
     id: str
     title: str
     analysis: Analysis
     severity: Severity
     summary: str
+    family: str = ""
 
 
 _ALL_RULES = (
     Rule("MC-P01", "missing-map", Analysis.LINT, Severity.ERROR,
          "kernel touches host memory no live map entry or declare-target "
-         "global covers"),
+         "global covers", family="missing-map"),
     Rule("MC-P02", "tofrom-missing-from", Analysis.LINT, Severity.ERROR,
          "kernel-written buffer feeds an application output but is never "
-         "copied back to the host"),
+         "copied back to the host", family="missing-from"),
     Rule("MC-P03", "stale-global", Analysis.LINT, Severity.ERROR,
          "kernel reads a declare-target global whose host value changed "
-         "after the last update/sync"),
+         "after the last update/sync", family="stale-global"),
     Rule("MC-P04", "config-divergent-output", Analysis.LINT, Severity.ERROR,
          "workload outputs differ between runtime configurations "
-         "(differential evidence of a latent mapping bug)"),
+         "(differential evidence of a latent mapping bug)",
+         family="config-divergence"),
     Rule("MC-S01", "refcount-underflow", Analysis.SANITIZER, Severity.ERROR,
-         "map-exit would drive a present entry's refcount below zero"),
+         "map-exit would drive a present entry's refcount below zero",
+         family="refcount"),
     Rule("MC-S02", "map-leak-at-teardown", Analysis.SANITIZER, Severity.WARNING,
-         "present-table entry still live at device teardown"),
+         "present-table entry still live at device teardown", family="leak"),
     Rule("MC-S03", "unmap-of-absent", Analysis.SANITIZER, Severity.ERROR,
          "unmap/release of a buffer with no present-table entry "
-         "(double unmap or never mapped)"),
+         "(double unmap or never mapped)", family="refcount"),
     Rule("MC-S04", "use-after-unmap-kernel-arg", Analysis.SANITIZER, Severity.ERROR,
          "a kernel argument's mapping was destroyed while the kernel was "
-         "in flight"),
+         "in flight", family="inflight-unmap"),
     Rule("MC-S05", "always-clause-misuse", Analysis.SANITIZER, Severity.ERROR,
-         "'always' modifier on a map kind that never transfers"),
+         "'always' modifier on a map kind that never transfers",
+         family="always-misuse"),
     Rule("MC-R01", "concurrent-map-race", Analysis.RACES, Severity.WARNING,
          "host threads perform conflicting map-enter/map-exit on "
-         "overlapping ranges with no synchronization edge"),
+         "overlapping ranges with no synchronization edge", family="map-race"),
     Rule("MC-R02", "host-write-kernel-read-race", Analysis.RACES, Severity.ERROR,
          "host writes a buffer while a kernel reading it is in flight, "
-         "without waiting on its completion signal"),
+         "without waiting on its completion signal", family="host-write-race"),
+    # -- MapFlow: static map-clause dataflow analysis (repro.check.static)
+    Rule("MC-S10", "refcount-underflow-on-some-path", Analysis.STATIC,
+         Severity.ERROR,
+         "a program path exists on which a map-exit runs against a "
+         "definitely-absent present-table entry (double unmap, unbalanced "
+         "exit, or exit without a matching enter)", family="refcount"),
+    Rule("MC-S11", "use-after-exit-data", Analysis.STATIC, Severity.ERROR,
+         "a map-exit can destroy a mapping while a nowait target region "
+         "referencing the buffer is statically in flight", family="inflight-unmap"),
+    Rule("MC-S12", "map-leak-at-thread-end", Analysis.STATIC, Severity.WARNING,
+         "a buffer is still mapped on every path reaching the end of its "
+         "owning thread's body", family="leak"),
+    Rule("MC-P10", "touches-not-covered-on-any-path", Analysis.STATIC,
+         Severity.ERROR,
+         "a kernel raw-pointer touch is covered by no live map entry, "
+         "target map clause, or declare-target global on any path to the "
+         "dispatch", family="missing-map"),
 )
 
 #: rule id -> rule, in stable declaration order
@@ -112,6 +140,12 @@ class Finding:
     confirmed_by: Tuple[RuntimeConfig, ...] = ()
     #: output keys this finding explains (MC-P02/MC-P04 bookkeeping)
     output_keys: Tuple[str, ...] = ()
+    #: structured references to further sites exhibiting the same defect
+    #: (e.g. MC-P01: every extra kernel touching the same unmapped buffer)
+    related: Tuple[str, ...] = ()
+    #: ``(path, line)`` of the defect in the workload source, when the
+    #: analysis knows it (static findings do; dynamic ones usually don't)
+    source: Optional[Tuple[str, int]] = None
 
     @property
     def rule(self) -> Rule:
@@ -138,7 +172,26 @@ class Finding:
             "breaks_under": [c.value for c in self.breaks_under],
             "passes_under": [c.value for c in self.passes_under],
             "confirmed_by": [c.value for c in self.confirmed_by],
+            "related": list(self.related),
+            "source": list(self.source) if self.source else None,
         }
+
+    def sort_key(self) -> Tuple[str, str, str, float, int, str]:
+        """Total order over findings, independent of discovery order.
+
+        Reports assembled from parallel workers (``--jobs``) interleave
+        findings nondeterministically; sorting by this key before any
+        rendering/JSON emission makes parallel and serial output
+        byte-identical.
+        """
+        return (
+            self.rule_id,
+            self.workload,
+            self.buffer,
+            self.time_us if self.time_us is not None else -1.0,
+            self.tid if self.tid is not None else -1,
+            self.message,
+        )
 
 
 _SEV_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
@@ -165,7 +218,7 @@ class CheckReport:
     def sorted_findings(self) -> List[Finding]:
         return sorted(
             self.findings,
-            key=lambda f: (_SEV_ORDER[f.severity], f.rule_id, f.buffer),
+            key=lambda f: (_SEV_ORDER[f.severity],) + f.sort_key(),
         )
 
     def by_rule(self) -> Dict[str, List[Finding]]:
@@ -221,6 +274,13 @@ class CheckReport:
                 elif head:
                     lines.append(f"  at     : {head}")
                 lines.append(f"  detail : {f.message}")
+                if f.related:
+                    lines.append(
+                        f"  also   : {len(f.related)} more site(s): "
+                        + "; ".join(f.related)
+                    )
+                if f.source:
+                    lines.append(f"  source : {f.source[0]}:{f.source[1]}")
                 lines.append(f"  configs: {self._config_flags(f)}")
         if self.config_outcomes:
             lines.append("-" * 72)
@@ -254,11 +314,11 @@ class CheckReport:
 
 def render_rule_table() -> str:
     """ASCII table of all rules (``repro check --rules``)."""
-    lines = [f"{'rule':<8}{'title':<28}{'analysis':<19}{'severity':<9}summary"]
-    lines.append("-" * 100)
+    lines = [f"{'rule':<8}{'title':<34}{'analysis':<19}{'severity':<9}summary"]
+    lines.append("-" * 106)
     for r in RULES.values():
         lines.append(
-            f"{r.id:<8}{r.title:<28}{r.analysis.value:<19}"
+            f"{r.id:<8}{r.title:<34}{r.analysis.value:<19}"
             f"{r.severity.value:<9}{r.summary}"
         )
     return "\n".join(lines)

@@ -42,13 +42,21 @@ def _missing_map(rec: CheckRecorder, workload: str) -> List[Finding]:
     Coverage was evaluated at dispatch time against the live present
     table and the declare-target registry, so a buffer mapped for
     *earlier* kernels and unmapped since is correctly flagged.
+
+    One finding per buffer: the first offending kernel owns the message,
+    every further kernel touching the same unmapped buffer lands in the
+    structured ``Finding.related`` list (rendered once, deduplicated), so
+    the message stays bounded and deterministic no matter how many
+    dispatches repeat the access.
     """
     findings = []
     seen: Dict[str, Finding] = {}
     for k in rec.kernels:
         for key in k.uncovered:
             if key in seen:
-                seen[key].message += f"; also kernel {k.name!r} (kid {k.kid})"
+                ref = f"kernel {k.name!r} (kid {k.kid})"
+                if ref not in seen[key].related:
+                    seen[key].related += (ref,)
                 continue
             buf = rec.buffers.get(key)
             name = buf.name if buf is not None else key

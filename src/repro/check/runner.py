@@ -19,8 +19,11 @@
 
 from __future__ import annotations
 
+import pickle
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -214,6 +217,15 @@ def check_workload(
     return report
 
 
+def _merge_static(report: CheckReport, static: CheckReport) -> CheckReport:
+    """Fold a MapFlow (static) report into a dynamic one."""
+    report.findings.extend(static.findings)
+    report.stats.update(static.stats)
+    if static.aborted and report.aborted is None:
+        report.aborted = static.aborted
+    return report
+
+
 def check_named(
     name: str,
     fidelity: Fidelity = Fidelity.TEST,
@@ -221,11 +233,36 @@ def check_named(
     cross_check: bool = True,
     cost: Optional[CostModel] = None,
     seed: int = 0,
+    static: bool = False,
+    dynamic: bool = True,
 ) -> CheckReport:
-    """Run MapCheck over one bundled workload by registry name."""
-    return check_workload(
+    """Run MapCheck over one bundled workload by registry name.
+
+    ``static=True`` additionally runs the MapFlow static analysis and
+    merges its findings; ``dynamic=False`` skips the instrumented and
+    differential runs entirely (pure static path, zero simulation).
+    """
+    from .static import analyze_named
+
+    if not dynamic:
+        return analyze_named(name, fidelity)
+    report = check_workload(
         lambda: make_workload(name, fidelity), name,
         cross_check=cross_check, cost=cost, seed=seed,
+    )
+    if static:
+        report = _merge_static(report, analyze_named(name, fidelity))
+    return report
+
+
+def _check_one(
+    spec: Tuple[str, Fidelity, bool, bool, bool],
+) -> Tuple[str, CheckReport]:
+    """Worker entry point (module-level so it pickles)."""
+    name, fidelity, cross_check, static, dynamic = spec
+    return name, check_named(
+        name, fidelity, cross_check=cross_check,
+        static=static, dynamic=dynamic,
     )
 
 
@@ -234,11 +271,51 @@ def check_all(
     *,
     cross_check: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    static: bool = False,
+    dynamic: bool = True,
 ) -> List[CheckReport]:
-    """Run MapCheck over every bundled workload."""
+    """Run MapCheck over every bundled workload.
+
+    Workloads are independent (fresh instance, fresh simulated system,
+    fixed seed each), so ``jobs > 1`` fans them out over a process pool;
+    reports come back keyed by name and are re-assembled in sorted-name
+    order, and every finding list is itself emitted in sorted order —
+    parallel and serial output are byte-identical.
+    """
+    names = sorted(WORKLOADS)
+    specs = [(name, fidelity, cross_check, static, dynamic)
+             for name in names]
+    by_name: Dict[str, CheckReport] = {}
+    if jobs > 1 and len(specs) > 1:
+        try:
+            pickle.dumps(specs)
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(specs))
+            ) as pool:
+                pending = {pool.submit(_check_one, s): s[0] for s in specs}
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        wname = pending.pop(fut)
+                        _, report = fut.result()
+                        by_name[wname] = report
+                        if progress is not None:
+                            progress(f"check {wname} done")
+            return [by_name[name] for name in names]
+        except (OSError, PermissionError, pickle.PicklingError) as exc:
+            # sandboxed platform / no semaphores: same results, serially
+            warnings.warn(
+                f"process pool unavailable ({exc}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     reports = []
-    for name in sorted(WORKLOADS):
+    for name in names:
         if progress is not None:
             progress(f"check {name}")
-        reports.append(check_named(name, fidelity, cross_check=cross_check))
+        reports.append(check_named(
+            name, fidelity, cross_check=cross_check,
+            static=static, dynamic=dynamic,
+        ))
     return reports

@@ -1,0 +1,100 @@
+"""Lower the structured IR of one thread to a control-flow graph.
+
+The interpreter wants plain basic blocks with successor edges so its
+worklist handles loops (back edges) and early returns uniformly.  The
+lowering is standard:
+
+* ``Branch`` — the current block forks to both arm heads, the arm
+  tails rejoin at a fresh join block.
+* ``Loop`` with ``min_trips >= 1`` (``for``) — control falls *into*
+  the body, and the latch both loops back and exits: the body executes
+  at least once.
+* ``Loop`` with ``min_trips == 0`` (``while``) — a header block
+  forks to the body head and to the exit: zero executions feasible.
+* ``ReturnNode`` — edge straight to the function exit block; the rest
+  of the sequence becomes unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .ir import Branch, Loop, Op, ReturnNode, Seq, ThreadProgram
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+@dataclass
+class Block:
+    bid: int
+    ops: List[Op] = field(default_factory=list)
+    succs: List["Block"] = field(default_factory=list)
+
+    def __hash__(self) -> int:
+        return self.bid
+
+    def __repr__(self) -> str:
+        return f"B{self.bid}({len(self.ops)} ops -> {[s.bid for s in self.succs]})"
+
+
+@dataclass
+class CFG:
+    entry: Block
+    exit: Block
+    blocks: List[Block] = field(default_factory=list)
+
+    def new_block(self) -> Block:
+        b = Block(bid=len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+
+def _lower_seq(cfg: CFG, seq: Seq, cur: Block) -> Block:
+    """Lower ``seq`` starting in ``cur``; return the block where control
+    continues (possibly an unreachable continuation after a return)."""
+    for item in seq.items:
+        if isinstance(item, Op):
+            cur.ops.append(item)
+        elif isinstance(item, Branch):
+            then_head = cfg.new_block()
+            else_head = cfg.new_block()
+            cur.succs += [then_head, else_head]
+            then_tail = _lower_seq(cfg, item.then, then_head)
+            else_tail = _lower_seq(cfg, item.orelse, else_head)
+            join = cfg.new_block()
+            for tail in (then_tail, else_tail):
+                if tail is not None:
+                    tail.succs.append(join)
+            cur = join
+        elif isinstance(item, Loop):
+            body_head = cfg.new_block()
+            after = cfg.new_block()
+            if item.min_trips >= 1:
+                cur.succs.append(body_head)
+            else:
+                header = cfg.new_block()
+                cur.succs.append(header)
+                header.succs += [body_head, after]
+            body_tail = _lower_seq(cfg, item.body, body_head)
+            if body_tail is not None:
+                body_tail.succs += [body_head, after]
+            cur = after
+        elif isinstance(item, ReturnNode):
+            cur.succs.append(cfg.exit)
+            # anything after a return in this Seq is unreachable; park it
+            # in a fresh block with no predecessors
+            cur = cfg.new_block()
+        else:  # pragma: no cover - extractor only emits the above
+            raise TypeError(f"unlowerable IR node {type(item).__name__}")
+    return cur
+
+
+def build_cfg(program: ThreadProgram) -> CFG:
+    entry = Block(bid=0)
+    cfg = CFG(entry=entry, exit=None, blocks=[entry])  # type: ignore[arg-type]
+    cfg.exit = cfg.new_block()
+    tail = _lower_seq(cfg, program.body, entry)
+    if tail is not None:
+        tail.succs.append(cfg.exit)
+    return cfg

@@ -1,0 +1,243 @@
+"""Map-operation IR: what MapFlow sees of a workload thread body.
+
+The extractor partially evaluates ``make_body``/``body`` over a real
+workload instance, so everything that is constant at construction time
+(fidelity-derived trip counts, buffer sizes, ``tid``) is already folded
+away; what remains is the structured sequence of mapping-relevant
+operations below.  Buffers are *allocation sites* — one
+:class:`AbstractBuffer` per ``th.alloc`` call site per unroll context —
+and every operand is a :class:`BufRef`, a may-set of sites: a singleton
+set is an exact ("strong") operand, a larger set is a weak one the
+interpreter must treat conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ...omp.mapping import MapKind
+
+__all__ = [
+    "AbstractBuffer",
+    "BufRef",
+    "ClauseIR",
+    "Op",
+    "AllocOp",
+    "FreeOp",
+    "EnterOp",
+    "ExitOp",
+    "TargetOp",
+    "WaitOp",
+    "UpdateOp",
+    "GlobalSyncOp",
+    "HostWriteOp",
+    "OutputOp",
+    "Node",
+    "Seq",
+    "Branch",
+    "Loop",
+    "ReturnNode",
+    "ThreadProgram",
+    "WorkloadIR",
+]
+
+
+@dataclass(frozen=True)
+class AbstractBuffer:
+    """One allocation site (AST position x unroll context) of one thread."""
+
+    site: str          #: stable key, e.g. ``"t0:L42.8[3]"``
+    name: str          #: the buffer name passed to ``th.alloc`` (best effort)
+    tid: int           #: thread whose extraction created the site
+    lineno: int = 0
+
+    def __repr__(self) -> str:  # compact in interp traces
+        return f"<{self.name}@{self.site}>"
+
+
+@dataclass(frozen=True)
+class BufRef:
+    """A may-set of allocation sites an operand can denote.
+
+    ``unknown`` marks operands the extractor could not resolve at all
+    (opaque expressions); ``weak`` marks resolved operands whose
+    multiplicity is uncertain (clauses from a summarized list).  The
+    interpreter only applies strong updates — and only ever *reports* —
+    through operands that are neither.
+    """
+
+    sites: FrozenSet[AbstractBuffer]
+    display: str = ""
+    unknown: bool = False
+    weak: bool = False
+
+    @property
+    def strong(self) -> bool:
+        return not self.unknown and not self.weak and len(self.sites) == 1
+
+    @property
+    def only(self) -> AbstractBuffer:
+        (b,) = self.sites
+        return b
+
+    def label(self) -> str:
+        if self.display:
+            return self.display
+        if self.sites:
+            return "|".join(sorted(b.name for b in self.sites))
+        return "<?>"
+
+
+@dataclass(frozen=True)
+class ClauseIR:
+    """One map clause of an enter/exit/target construct."""
+
+    buf: BufRef
+    kind: Optional[MapKind]      #: None when the kind itself is opaque
+    always: bool = False
+
+
+_next_op_id = [0]
+
+
+def _op_id() -> int:
+    _next_op_id[0] += 1
+    return _next_op_id[0]
+
+
+@dataclass
+class Op:
+    """Base class for primitive IR operations."""
+
+    lineno: int = 0
+    op_id: int = field(default_factory=_op_id)
+
+
+@dataclass
+class AllocOp(Op):
+    buf: Optional[AbstractBuffer] = None
+
+
+@dataclass
+class FreeOp(Op):
+    buf: BufRef = None  # type: ignore[assignment]
+
+
+@dataclass
+class EnterOp(Op):
+    clauses: Tuple[ClauseIR, ...] = ()
+
+
+@dataclass
+class ExitOp(Op):
+    clauses: Tuple[ClauseIR, ...] = ()
+
+
+@dataclass
+class TargetOp(Op):
+    kernel: str = ""
+    clauses: Tuple[ClauseIR, ...] = ()
+    touches: Tuple[BufRef, ...] = ()
+    globals_used: Tuple[str, ...] = ()
+    nowait: bool = False
+    handle_id: Optional[int] = None   #: set when nowait
+
+
+@dataclass
+class WaitOp(Op):
+    handle_ids: FrozenSet[int] = frozenset()
+    unknown: bool = False             #: waits on an unresolvable handle
+
+
+@dataclass
+class UpdateOp(Op):
+    to: Tuple[BufRef, ...] = ()
+    from_: Tuple[BufRef, ...] = ()
+
+
+@dataclass
+class GlobalSyncOp(Op):
+    name: str = ""
+
+
+@dataclass
+class HostWriteOp(Op):
+    buf: BufRef = None  # type: ignore[assignment]
+
+
+@dataclass
+class OutputOp(Op):
+    key: Optional[str] = None
+    bufs: Tuple[BufRef, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# structured control flow (lowered to a CFG by cfg.py)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Seq:
+    items: List[object] = field(default_factory=list)  #: Op | Branch | Loop | ReturnNode
+
+
+@dataclass
+class Branch:
+    """Unresolved conditional: both arms are feasible."""
+
+    then: Seq = field(default_factory=Seq)
+    orelse: Seq = field(default_factory=Seq)
+    lineno: int = 0
+
+
+@dataclass
+class Loop:
+    """A loop whose trip count the extractor could not fold away.
+
+    ``min_trips=1`` encodes the documented soundness assumption that a
+    ``for`` over a workload-supplied range runs at least once (every
+    fidelity produces >= 2 steps); ``while`` loops get ``min_trips=0``.
+    """
+
+    body: Seq = field(default_factory=Seq)
+    min_trips: int = 1
+    kind: str = "for"
+    lineno: int = 0
+
+
+@dataclass
+class ReturnNode:
+    lineno: int = 0
+
+
+Node = object  # documentation alias: Op | Seq | Branch | Loop | ReturnNode
+
+
+@dataclass
+class ThreadProgram:
+    """The extracted IR of one OpenMP host thread."""
+
+    tid: int
+    body: Seq = field(default_factory=Seq)
+    buffers: Dict[str, AbstractBuffer] = field(default_factory=dict)
+    #: nowait handle id -> (exit clauses to apply at wait, referenced sites)
+    handles: Dict[int, Tuple[Tuple[ClauseIR, ...], FrozenSet[AbstractBuffer]]] = (
+        field(default_factory=dict)
+    )
+
+
+@dataclass
+class WorkloadIR:
+    """Everything MapFlow extracted from one workload."""
+
+    name: str
+    n_threads: int
+    threads: List[ThreadProgram] = field(default_factory=list)
+    globals_declared: FrozenSet[str] = frozenset()
+    source_file: str = ""
+    #: places where extraction lost precision (for diagnostics/tests)
+    imprecision: List[str] = field(default_factory=list)
+
+    def thread(self, tid: int) -> ThreadProgram:
+        return self.threads[tid]

@@ -1,0 +1,236 @@
+"""Turn raw MapFlow interpreter defects into MapCheck findings.
+
+This is the config-parametric half of the analysis: the interpreter
+(:mod:`~.interp`) decides *whether* a defect exists on some/every path;
+this module decides *under which runtime configurations it bites*, by
+evaluating a per-defect-kind break predicate against each
+configuration's semantics (XNACK servicing, shadow copies).  The
+resulting ``breaks_under``/``passes_under`` matrices are — by
+construction and frozen by the registry snapshot test — identical to
+the matrices the dynamic analyses attach to the same defect families.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...core.config import ALL_CONFIGS, RuntimeConfig, ZERO_COPY_CONFIGS
+from ...workloads.base import Fidelity, Workload
+from ..findings import CheckReport, Finding
+from ..registry import dynamic_counterparts, make_workload
+from .extract import ExtractionError, extract_workload
+from .interp import Defect, InterpResult, analyze_ir
+from .ir import AbstractBuffer, Branch, Loop, Op, Seq, WorkloadIR
+
+__all__ = [
+    "ConfigSemantics",
+    "SEMANTICS",
+    "static_matrix",
+    "static_report",
+    "analyze_factory",
+    "analyze_named",
+]
+
+
+@dataclass(frozen=True)
+class ConfigSemantics:
+    """The two facts about a runtime configuration the static rules
+    depend on (the dynamic analyses consult the same two)."""
+
+    config: RuntimeConfig
+    #: XNACK page-fault servicing makes stray device touches of host
+    #: memory *work* instead of crash (paper §IV.C)
+    xnack: bool
+    #: the configuration materializes device shadow copies, so a leaked
+    #: present-table entry pins real device memory
+    shadow_copies: bool
+
+
+SEMANTICS: Dict[RuntimeConfig, ConfigSemantics] = {
+    cfg: ConfigSemantics(
+        config=cfg,
+        xnack=cfg in (RuntimeConfig.UNIFIED_SHARED_MEMORY,
+                      RuntimeConfig.IMPLICIT_ZERO_COPY),
+        shadow_copies=cfg not in ZERO_COPY_CONFIGS,
+    )
+    for cfg in ALL_CONFIGS
+}
+
+#: defect kind -> (rule id, break predicate over one config's semantics)
+_KIND_RULES: Dict[str, Tuple[str, Callable[[ConfigSemantics], bool]]] = {
+    # an underflowing exit corrupts the present table in every runtime —
+    # refcount bookkeeping exists under zero-copy too
+    "underflow": ("MC-S10", lambda s: True),
+    # destroying a mapping out from under an in-flight region is a
+    # use-after-free of runtime metadata regardless of configuration
+    "inflight": ("MC-S11", lambda s: True),
+    # a leaked entry only pins memory where a shadow copy exists
+    "leak": ("MC-S12", lambda s: s.shadow_copies),
+    # an uncovered raw-pointer touch is serviced by XNACK or nothing
+    "uncovered": ("MC-P10", lambda s: not s.xnack),
+}
+
+
+def static_matrix(
+    kind: str,
+) -> Tuple[Tuple[RuntimeConfig, ...], Tuple[RuntimeConfig, ...]]:
+    """``(breaks_under, passes_under)`` for a defect kind, derived by
+    evaluating its break predicate per configuration."""
+    _rule_id, breaks = _KIND_RULES[kind]
+    breaks_under = tuple(c for c in ALL_CONFIGS if breaks(SEMANTICS[c]))
+    passes_under = tuple(c for c in ALL_CONFIGS if not breaks(SEMANTICS[c]))
+    return breaks_under, passes_under
+
+
+# ---------------------------------------------------------------------------
+# finding construction
+# ---------------------------------------------------------------------------
+
+_REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))  # .../src/repro
+_SRC_ROOT = os.path.dirname(_REPRO_ROOT)  # .../src
+
+
+def _relative_source(path: str) -> str:
+    if path and os.path.isabs(path):
+        try:
+            rel = os.path.relpath(path, _SRC_ROOT)
+        except ValueError:  # pragma: no cover - windows cross-drive
+            return path
+        if not rel.startswith(".."):
+            return rel
+    return path
+
+
+def _xref(rule_id: str) -> str:
+    dyn = dynamic_counterparts(rule_id)
+    if not dyn:  # pragma: no cover - every static rule has counterparts
+        return ""
+    return f" [dynamic counterpart{'s' if len(dyn) > 1 else ''}: {', '.join(dyn)}]"
+
+
+def _message(defect: Defect) -> str:
+    name = defect.site.name
+    if defect.kind == "underflow":
+        core = (
+            f"a path exists on which {defect.context or 'a map-exit'} of "
+            f"{name!r} runs while its present-table entry is definitely "
+            "absent (refcount 0): double unmap or exit without a matching "
+            "enter"
+        )
+    elif defect.kind == "inflight":
+        core = (
+            f"a map-exit can destroy the mapping of {name!r} while "
+            f"{defect.context or 'a nowait target region'}"
+        )
+    elif defect.kind == "leak":
+        core = (
+            f"{name!r} is {defect.context or 'still mapped at thread end'}"
+        )
+    else:  # uncovered
+        kernel = f" by kernel {defect.context!r}" if defect.context else ""
+        core = (
+            f"raw-pointer touch of {name!r}{kernel} is covered by no live "
+            "map entry or target map clause on any path to the dispatch"
+        )
+    rule_id, _ = _KIND_RULES[defect.kind]
+    return core + _xref(rule_id)
+
+
+def _findings_from(result: InterpResult, workload_name: str) -> List[Finding]:
+    # one finding per (rule, site); further occurrences -> `related`
+    grouped: Dict[Tuple[str, AbstractBuffer], List[Defect]] = {}
+    for defect in result.defects:
+        rule_id, _ = _KIND_RULES[defect.kind]
+        grouped.setdefault((rule_id, defect.site), []).append(defect)
+    source = _relative_source(result.ir.source_file)
+    findings: List[Finding] = []
+    for (rule_id, site), defects in sorted(
+        grouped.items(), key=lambda kv: (kv[0][0], kv[0][1].site)
+    ):
+        defects = sorted(defects, key=lambda d: (d.lineno, d.op_id))
+        primary = defects[0]
+        breaks_under, passes_under = static_matrix(primary.kind)
+        related = tuple(
+            f"line {d.lineno} (tid {d.tid})" for d in defects[1:]
+        )
+        findings.append(Finding(
+            rule_id=rule_id,
+            buffer=site.name,
+            workload=workload_name,
+            message=_message(primary),
+            tid=primary.tid,
+            breaks_under=breaks_under,
+            passes_under=passes_under,
+            related=related,
+            source=(source, primary.lineno or site.lineno)
+            if source else None,
+        ))
+    return findings
+
+
+def _count_ops(ir: WorkloadIR) -> int:
+    def walk(seq: Seq) -> int:
+        n = 0
+        for item in seq.items:
+            if isinstance(item, Op):
+                n += 1
+            elif isinstance(item, Branch):
+                n += walk(item.then) + walk(item.orelse)
+            elif isinstance(item, Loop):
+                n += walk(item.body)
+        return n
+
+    return sum(walk(t.body) for t in ir.threads)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def static_report(workload: Workload, name: str = "") -> CheckReport:
+    """Extract, interpret and rule-map one workload instance.
+
+    Pure static path: no :class:`~repro.core.system.ApuSystem` is
+    instantiated and no simulation event is emitted — the workload
+    object is only used as a constant environment for partial
+    evaluation of its thread-body source.
+    """
+    wname = name or getattr(workload, "name", type(workload).__name__)
+    fidelity = getattr(workload, "fidelity", None)
+    report = CheckReport(
+        workload=wname,
+        fidelity=fidelity.value if fidelity is not None else "?",
+    )
+    try:
+        ir = extract_workload(workload, name=wname)
+    except ExtractionError as exc:
+        report.aborted = f"static extraction failed: {exc}"
+        return report
+    result = analyze_ir(ir)
+    report.findings = _findings_from(result, wname)
+    report.stats = {
+        "static_threads": len(ir.threads),
+        "static_ops": _count_ops(ir),
+        "static_states": result.states_explored,
+        "static_imprecision": len(ir.imprecision),
+    }
+    return report
+
+
+def analyze_factory(
+    factory: Callable[[], Workload], name: Optional[str] = None
+) -> CheckReport:
+    """Static-analyze the workload a factory produces."""
+    workload = factory()
+    return static_report(workload, name or workload.name)
+
+
+def analyze_named(
+    name: str, fidelity: Fidelity = Fidelity.TEST
+) -> CheckReport:
+    """Static-analyze one bundled workload by registry name."""
+    return static_report(make_workload(name, fidelity), name)

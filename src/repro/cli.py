@@ -9,10 +9,15 @@
     python -m repro table3
     python -m repro all    [--quick] [--out report.txt]
     python -m repro check [workload|all] [--json] [--no-cross] [--rules]
+                          [--static] [--no-sim] [--sarif FILE] [--jobs N]
     python -m repro bench  [--quick] [--jobs N] [--bench-json BENCH.json]
 
 ``check`` runs the MapCheck sanitizer/lint over a bundled workload (or
 all of them) and exits 1 if any finding survives — suitable for CI.
+``--static`` adds the MapFlow static dataflow analysis; with ``--no-sim``
+it is the *only* analysis and no simulation runs at all.  ``--sarif``
+writes the findings as SARIF 2.1.0.  For ``check all``, ``--jobs`` fans
+the workloads out over a process pool with byte-identical output.
 
 ``--jobs N`` fans the independent (workload, config, repetition) cells
 of an experiment out over N worker processes; results are bit-identical
@@ -134,13 +139,18 @@ def cmd_check(args) -> str:
     args.exit_code = 0
     if args.rules:
         return render_rule_table()
+    if args.no_sim and not args.static:
+        raise SystemExit("--no-sim requires --static")
     target = args.workload or "all"
     # recording + 3 differential runs per workload: TEST fidelity keeps
     # `check all` in CI territory
     fidelity = Fidelity.TEST
+    static = args.static
+    dynamic = not args.no_sim
     if target == "all":
         reports = check_all(
-            fidelity, cross_check=not args.no_cross, progress=_progress
+            fidelity, cross_check=not args.no_cross, progress=_progress,
+            jobs=args.jobs, static=static, dynamic=dynamic,
         )
     else:
         if target not in workload_names():
@@ -148,9 +158,17 @@ def cmd_check(args) -> str:
                 f"unknown workload {target!r}; choose from "
                 f"{', '.join(workload_names())} or 'all'"
             )
-        reports = [check_named(target, fidelity, cross_check=not args.no_cross)]
+        reports = [check_named(
+            target, fidelity, cross_check=not args.no_cross,
+            static=static, dynamic=dynamic,
+        )]
     if any(not r.ok for r in reports):
         args.exit_code = 1
+    if args.sarif:
+        from .check.sarif import write_sarif
+
+        write_sarif(reports, args.sarif)
+        print(f"wrote {args.sarif}", file=sys.stderr)
     if args.json:
         return json.dumps([r.to_dict() for r in reports], indent=2)
     parts = [r.render() for r in reports]
@@ -209,6 +227,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rules", action="store_true",
         help="for 'check': print the MapCheck rule table and exit",
+    )
+    parser.add_argument(
+        "--static", action="store_true",
+        help="for 'check': additionally run the MapFlow static dataflow "
+        "analysis (abstract interpretation of the workload source; no "
+        "simulation needed for its findings)",
+    )
+    parser.add_argument(
+        "--no-sim", action="store_true",
+        help="for 'check' with --static: skip the instrumented and "
+        "differential runs entirely — pure static analysis, zero "
+        "simulation events",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="for 'check': additionally write the findings as SARIF 2.1.0 "
+        "(for GitHub code scanning and SARIF viewers)",
     )
     parser.add_argument(
         "--sizes", type=_ints, default=[2, 8, 32, 128],

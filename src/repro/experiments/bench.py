@@ -407,7 +407,7 @@ def pagetable_parity(seed: int = 7, rounds: int = 300) -> bool:
     runs = PageTable(ps, "runs")
     flat = FlatPageTable(ps, "flat")
     origins = list(MapOrigin)
-    for step in range(rounds):
+    for _step in range(rounds):
         op = rnd.random()
         start = rnd.randrange(span_pages) * ps
         n = rnd.randrange(1, min(9, span_pages - start // ps + 1))

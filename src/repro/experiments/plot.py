@@ -50,7 +50,7 @@ def ascii_chart(
         return (height - 1) - round(frac * (height - 1))
 
     legend = []
-    for (name, pts), marker in zip(series.items(), _MARKERS):
+    for (name, pts), marker in zip(series.items(), _MARKERS, strict=False):
         legend.append(f"{marker}={name}")
         for x, y in pts:
             r, c = y_row(y), x_pos[x]

@@ -465,7 +465,7 @@ class FlatPageTable:
         for p in pages:  # atomic, like the run engine: check before install
             if p in self._entries:
                 raise KeyError(f"page 0x{p:x} already mapped in {self.name}")
-        for p, f in zip(pages, frames):
+        for p, f in zip(pages, frames, strict=True):
             self._entries[p] = Pte(f, origin)
         self.install_count += len(pages)
         return len(pages)

@@ -73,7 +73,7 @@ class SpC457(Workload):
                 u += 0.01 * (rhs - lhs)
                 s[0] = float(u.sum())
 
-            for cycle in range(cycles):
+            for _cycle in range(cycles):
                 # "data allocations … every 13 kernel launches"
                 yield from th.target_enter_data(
                     [MapClause(b, MapKind.TO) for b in arrays]

@@ -8,14 +8,21 @@ silently works under USM/Implicit Zero-Copy on the APU, hard-faults
 under Legacy Copy / discrete-GPU deployments.
 """
 
-import numpy as np
-
 from repro.check import check_workload
+from repro.check.corpus import (
+    AlwaysMisuseWorkload,
+    DoubleUnmapWorkload,
+    HostWriteRaceWorkload,
+    LeakWorkload,
+    MapRaceWorkload,
+    MissingFromWorkload,
+    MissingMapWorkload,
+    StaleGlobalWorkload,
+    UnderflowWorkload,
+    UseAfterUnmapWorkload,
+)
 from repro.check.findings import Severity
 from repro.core import CostModel, RuntimeConfig
-from repro.memory import MIB
-from repro.omp.mapping import MapClause, MapKind, PresentEntry
-from repro.workloads.base import Fidelity, Workload
 
 COPY = RuntimeConfig.COPY
 USM = RuntimeConfig.UNIFIED_SHARED_MEMORY
@@ -34,34 +41,6 @@ def find(report, rule_id):
 # ---------------------------------------------------------------------------
 # portability lint
 # ---------------------------------------------------------------------------
-class MissingMapWorkload(Workload):
-    """Kernel dereferences a buffer that was never mapped (a pointer
-    smuggled through a struct): the classic works-on-APU-only bug."""
-
-    name = "faulty-missing-map"
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def make_body(self):
-        outputs = self.outputs
-
-        def body(th, tid):
-            ghost = yield from th.alloc("ghost", MIB, payload=np.ones(8))
-            ok = yield from th.alloc("ok", MIB, payload=np.ones(8))
-            yield from th.target_enter_data([MapClause(ok, MapKind.TO)])
-            yield from th.target(
-                "stray", 50.0,
-                maps=[MapClause(ok, MapKind.ALLOC)],
-                touches=[ghost],
-                fn=lambda a, g: a["ghost"].__iadd__(1.0),
-            )
-            yield from th.target_exit_data([MapClause(ok, MapKind.DELETE)])
-            outputs.put("ghost", ghost.payload.copy())
-
-        return body
-
-
 def test_missing_map_flagged_with_per_config_applicability():
     report = check_workload(MissingMapWorkload)
     findings = find(report, "MC-P01")
@@ -90,32 +69,6 @@ def test_missing_map_crashes_on_discrete_gpu_cost_model():
     assert COPY in f.confirmed_by
 
 
-class MissingFromWorkload(Workload):
-    """Buffer written on the device feeds an output, but the final unmap
-    is a bare release: zero-copy aliasing hides the missing ``from``."""
-
-    name = "faulty-missing-from"
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def make_body(self):
-        outputs = self.outputs
-
-        def body(th, tid):
-            data = yield from th.alloc("result", MIB, payload=np.zeros(16))
-            yield from th.target_enter_data([MapClause(data, MapKind.TO)])
-            yield from th.target(
-                "compute", 100.0,
-                maps=[MapClause(data, MapKind.ALLOC)],
-                fn=lambda a, g: a["result"].__iadd__(3.0),
-            )
-            yield from th.target_exit_data([MapClause(data, MapKind.RELEASE)])
-            outputs.put("result", data.payload.copy())
-
-        return body
-
-
 def test_tofrom_missing_from_flagged_and_confirmed_under_copy():
     report = check_workload(MissingFromWorkload)
     [f] = find(report, "MC-P02")
@@ -129,37 +82,6 @@ def test_tofrom_missing_from_flagged_and_confirmed_under_copy():
     assert not find(report, "MC-P04")
 
 
-class StaleGlobalWorkload(Workload):
-    """Host updates a declare-target global but never re-syncs it before
-    the kernel reads it: only USM's pointer-globals see the new value."""
-
-    name = "faulty-stale-global"
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def prepare(self, runtime):
-        self.glob = runtime.declare_target("coef", np.ones(4))
-
-    def make_body(self):
-        outputs, glob = self.outputs, self.glob
-
-        def body(th, tid):
-            out = yield from th.alloc("out", MIB, payload=np.zeros(4))
-            yield from th.target_enter_data([MapClause(out, MapKind.TO)])
-            glob.host_payload[0] = 42.0  # missing th.update_global(glob)
-            yield from th.target(
-                "use_global", 50.0,
-                maps=[MapClause(out, MapKind.FROM, always=True)],
-                globals_used=[glob],
-                fn=lambda a, g: a["out"].__setitem__(0, g["coef"][0]),
-            )
-            yield from th.target_exit_data([MapClause(out, MapKind.DELETE)])
-            outputs.put("out", out.payload.copy())
-
-        return body
-
-
 def test_stale_global_flagged():
     report = check_workload(StaleGlobalWorkload, cross_check=False)
     [f] = find(report, "MC-P03")
@@ -171,50 +93,12 @@ def test_stale_global_flagged():
 # ---------------------------------------------------------------------------
 # mapping sanitizer
 # ---------------------------------------------------------------------------
-class LeakWorkload(Workload):
-    """Maps its working set and never unmaps it."""
-
-    name = "faulty-leak"
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def make_body(self):
-        def body(th, tid):
-            data = yield from th.alloc("leaky", MIB, payload=np.ones(8))
-            yield from th.target_enter_data([MapClause(data, MapKind.TO)])
-            yield from th.target(
-                "touch", 50.0, maps=[MapClause(data, MapKind.ALLOC)],
-                fn=lambda a, g: None,
-            )
-
-        return body
-
-
 def test_map_leak_at_teardown_flagged():
     report = check_workload(LeakWorkload, cross_check=False)
     [f] = find(report, "MC-S02")
     assert f.buffer == "leaky"
     assert f.severity is Severity.WARNING
     assert f.breaks_under == (COPY,)  # device memory leak is Copy-only
-
-
-class DoubleUnmapWorkload(Workload):
-    """Exits the same mapping twice."""
-
-    name = "faulty-double-unmap"
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def make_body(self):
-        def body(th, tid):
-            data = yield from th.alloc("dup", MIB)
-            yield from th.target_enter_data([MapClause(data, MapKind.TO)])
-            yield from th.target_exit_data([MapClause(data, MapKind.DELETE)])
-            yield from th.target_exit_data([MapClause(data, MapKind.DELETE)])
-
-        return body
 
 
 def test_double_unmap_flagged_and_aborts():
@@ -224,29 +108,6 @@ def test_double_unmap_flagged_and_aborts():
     assert report.aborted is not None and "absent" in report.aborted
 
 
-class UnderflowWorkload(Workload):
-    """Releases an entry whose refcount is already zero (simulating a
-    runtime whose bookkeeping was corrupted by unbalanced exits)."""
-
-    name = "faulty-underflow"
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def prepare(self, runtime):
-        self.rt = runtime
-
-    def make_body(self):
-        rt = self.rt
-
-        def body(th, tid):
-            data = yield from th.alloc("uf", MIB)
-            rt.table.insert(PresentEntry(host=data, device=None, refcount=0))
-            yield from th.target_exit_data([MapClause(data, MapKind.RELEASE)])
-
-        return body
-
-
 def test_refcount_underflow_flagged():
     report = check_workload(UnderflowWorkload, cross_check=False)
     [f] = find(report, "MC-S01")
@@ -254,62 +115,10 @@ def test_refcount_underflow_flagged():
     assert report.aborted is not None and "underflow" in report.aborted
 
 
-class AlwaysMisuseWorkload(Workload):
-    """``always`` on a never-transferring map kind."""
-
-    name = "faulty-always-misuse"
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def make_body(self):
-        def body(th, tid):
-            data = yield from th.alloc("am", MIB)
-            yield from th.target_enter_data(
-                [MapClause(data, MapKind.ALLOC, always=True)]
-            )
-
-        return body
-
-
 def test_always_misuse_flagged():
     report = check_workload(AlwaysMisuseWorkload, cross_check=False)
     [f] = find(report, "MC-S05")
     assert "always" in f.message
-
-
-class UseAfterUnmapWorkload(Workload):
-    """Thread 1 destroys a mapping while thread 0's kernel referencing
-    the buffer is still in flight."""
-
-    name = "faulty-use-after-unmap"
-    n_threads = 2
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def make_body(self):
-        shared = {}
-
-        def body(th, tid):
-            env = th.env
-            if tid == 0:
-                buf = yield from th.alloc("victim", MIB, payload=np.ones(8))
-                yield from th.target_enter_data([MapClause(buf, MapKind.TO)])
-                shared["buf"] = buf
-                handle = yield from th.target(
-                    "long_read", 5000.0, touches=[buf], nowait=True
-                )
-                shared["launched"] = True
-                yield from th.wait(handle)
-            else:
-                while "launched" not in shared:
-                    yield env.timeout(25.0)
-                yield from th.target_exit_data(
-                    [MapClause(shared["buf"], MapKind.DELETE)]
-                )
-
-        return body
 
 
 def test_use_after_unmap_kernel_arg_flagged():
@@ -323,47 +132,6 @@ def test_use_after_unmap_kernel_arg_flagged():
 # ---------------------------------------------------------------------------
 # race detector
 # ---------------------------------------------------------------------------
-class MapRaceWorkload(Workload):
-    """Two threads issue a map-enter and a map-exit for the same buffer
-    at the same simulated instant: the outcome depends on lock order."""
-
-    name = "faulty-map-race"
-    n_threads = 2
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def make_body(self):
-        shared = {}
-
-        def body(th, tid):
-            env = th.env
-            if tid == 0:
-                buf = yield from th.alloc("contested", MIB, payload=np.ones(8))
-                yield from th.target_enter_data([MapClause(buf, MapKind.TO)])
-                shared["buf"] = buf
-                shared["go"] = env.now + 500.0
-            while "go" not in shared:
-                yield env.timeout(10.0)
-            delay = shared["go"] - env.now
-            if delay > 0:
-                yield env.timeout(delay)
-            if tid == 0:
-                yield from th.target_enter_data(
-                    [MapClause(shared["buf"], MapKind.TO)]
-                )
-                yield env.timeout(200.0)
-                yield from th.target_exit_data(
-                    [MapClause(shared["buf"], MapKind.DELETE)]
-                )
-            else:
-                yield from th.target_exit_data(
-                    [MapClause(shared["buf"], MapKind.RELEASE)]
-                )
-
-        return body
-
-
 def test_concurrent_map_race_flagged():
     report = check_workload(MapRaceWorkload, cross_check=False)
     findings = find(report, "MC-R01")
@@ -373,37 +141,6 @@ def test_concurrent_map_race_flagged():
     # refcount-legal, the *race* is the defect
     assert "MC-S01" not in rule_ids(report)
     assert "MC-S03" not in rule_ids(report)
-
-
-class HostWriteRaceWorkload(Workload):
-    """Host writes a buffer while a nowait kernel reading it is in
-    flight — benign under Copy (snapshot isolation), a data race under
-    every zero-copy configuration."""
-
-    name = "faulty-host-write-race"
-
-    def __init__(self):
-        super().__init__(Fidelity.TEST)
-
-    def make_body(self):
-        outputs = self.outputs
-
-        def body(th, tid):
-            buf = yield from th.alloc("shared_in", MIB, payload=np.ones(8))
-            yield from th.target_enter_data([MapClause(buf, MapKind.TO)])
-            handle = yield from th.target(
-                "reader", 2000.0,
-                maps=[MapClause(buf, MapKind.ALLOC)],
-                fn=lambda a, g: None,
-                nowait=True,
-            )
-            yield th.env.timeout(300.0)
-            th.host_write(buf, np.full(8, 9.0))
-            yield from th.wait(handle)
-            yield from th.target_exit_data([MapClause(buf, MapKind.DELETE)])
-            outputs.put("done", 1.0)
-
-        return body
 
 
 def test_host_write_vs_kernel_read_flagged():

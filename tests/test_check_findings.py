@@ -36,10 +36,11 @@ def test_rule_ids_are_stable():
         "MC-P01", "MC-P02", "MC-P03", "MC-P04",
         "MC-S01", "MC-S02", "MC-S03", "MC-S04", "MC-S05",
         "MC-R01", "MC-R02",
+        "MC-S10", "MC-S11", "MC-S12", "MC-P10",
     }
 
 
-def test_rules_partition_across_the_three_analyses():
+def test_rules_partition_across_the_four_analyses():
     by_analysis = {a: [] for a in Analysis}
     for rule in RULES.values():
         by_analysis[rule.analysis].append(rule.id)
@@ -48,6 +49,9 @@ def test_rules_partition_across_the_three_analyses():
         "MC-S01", "MC-S02", "MC-S03", "MC-S04", "MC-S05"
     ]
     assert by_analysis[Analysis.RACES] == ["MC-R01", "MC-R02"]
+    assert by_analysis[Analysis.STATIC] == [
+        "MC-S10", "MC-S11", "MC-S12", "MC-P10"
+    ]
 
 
 def test_rule_table_lists_every_rule():
@@ -176,6 +180,76 @@ def test_triad_is_clean_without_cross_check():
 
 
 # ---------------------------------------------------------------------------
+# MC-P01 dedup: repeated offenders land in Finding.related, not message
+# ---------------------------------------------------------------------------
+class _RepeatOffenderWorkload:
+    """Three kernels dereference the same unmapped buffer."""
+
+    name = "unit-repeat-offender"
+    n_threads = 1
+
+    def __init__(self):
+        from repro.workloads.base import Workload
+
+        self._w = Workload(Fidelity.TEST)
+        self.outputs = self._w.outputs
+        self.fidelity = self._w.fidelity
+
+    def make_body(self):
+        import numpy as np
+
+        from repro.memory import MIB
+
+        def body(th, tid):
+            ghost = yield from th.alloc("ghost", MIB, payload=np.ones(4))
+            for k in range(3):
+                yield from th.target(f"stray{k}", 10.0, touches=[ghost])
+
+        return body
+
+
+def test_missing_map_repeat_offenders_collapse_into_related():
+    from repro.check import check_workload
+
+    report = check_workload(_RepeatOffenderWorkload, cross_check=False)
+    p01 = [f for f in report.findings if f.rule_id == "MC-P01"]
+    assert len(p01) == 1                   # one finding per buffer
+    [f] = p01
+    # the first offender owns the message; the others are structured refs
+    assert "'stray0'" in f.message
+    assert "stray1" not in f.message and "stray2" not in f.message
+    assert len(f.related) == 2
+    assert any("stray1" in r for r in f.related)
+    assert any("stray2" in r for r in f.related)
+    # related refs are deduplicated and survive serialization + rendering
+    assert f.to_dict()["related"] == list(f.related)
+    assert "2 more site(s)" in report.render()
+
+
+# ---------------------------------------------------------------------------
+# --jobs determinism: parallel and serial `check all` are byte-identical
+# ---------------------------------------------------------------------------
+def test_check_all_parallel_output_is_byte_identical_to_serial():
+    from repro.check import check_all
+
+    serial = check_all(Fidelity.TEST, cross_check=False, static=True)
+    parallel = check_all(Fidelity.TEST, cross_check=False, static=True,
+                         jobs=4)
+    assert [r.render() for r in serial] == [r.render() for r in parallel]
+    assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+
+
+def test_finding_sort_key_is_total_and_stable():
+    a = _finding(rule_id="MC-S01", buffer="a", time_us=2.0, tid=1)
+    b = _finding(rule_id="MC-S01", buffer="a", time_us=1.0, tid=0)
+    c = _finding(rule_id="MC-P01", buffer="z")
+    ordered = sorted([a, b, c], key=Finding.sort_key)
+    assert ordered == [c, b, a]
+    # reversing the input changes nothing: the key is total
+    assert sorted([c, b, a], key=Finding.sort_key) == ordered
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 def test_cli_check_qmcpack_exits_zero(capsys):
@@ -198,3 +272,26 @@ def test_cli_check_rules_table(capsys):
 def test_cli_check_rejects_unknown_workload():
     with pytest.raises(SystemExit):
         main(["check", "no-such-workload"])
+
+
+def test_cli_check_static_no_sim_is_clean_and_simulation_free(capsys):
+    from repro.check.static.differential import _forbid_simulation
+
+    with _forbid_simulation():             # any simulation would raise
+        assert main(["check", "triad", "--static", "--no-sim"]) == 0
+    out = capsys.readouterr().out
+    assert "static_ops" in out
+
+
+def test_cli_no_sim_requires_static():
+    with pytest.raises(SystemExit):
+        main(["check", "triad", "--no-sim"])
+
+
+def test_cli_check_writes_sarif(tmp_path, capsys):
+    path = tmp_path / "check.sarif"
+    assert main(["check", "triad", "--static", "--no-sim",
+                 "--sarif", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["version"] == "2.1.0"
+    assert {r["id"] for r in data["runs"][0]["tool"]["driver"]["rules"]} == set(RULES)

@@ -169,7 +169,7 @@ def test_engine_fires_in_time_order(delays):
     times = [t for t, _ in fired]
     assert times == sorted(times)
     # ties broken by schedule order
-    for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+    for (t1, i1), (t2, i2) in zip(fired, fired[1:], strict=False):
         if t1 == t2:
             assert i1 < i2
 

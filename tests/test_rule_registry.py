@@ -1,0 +1,107 @@
+"""Registry snapshot: rule ids, severities, analyses, families, and the
+per-configuration applicability matrices are a frozen public contract.
+
+Any diff here is a deliberate, reviewed change to MapCheck's output
+format — CI configs, SARIF consumers and the paper-reproduction docs all
+key off these exact values."""
+
+from repro.check import (
+    CANONICAL_MATRICES,
+    RULES,
+    RULE_FAMILIES,
+    Analysis,
+    Severity,
+)
+from repro.check.static.rules import static_matrix
+from repro.core import RuntimeConfig
+
+COPY = RuntimeConfig.COPY
+USM = RuntimeConfig.UNIFIED_SHARED_MEMORY
+IZC = RuntimeConfig.IMPLICIT_ZERO_COPY
+EAGER = RuntimeConfig.EAGER_MAPS
+ALL = (COPY, USM, IZC, EAGER)
+
+#: the frozen snapshot: id -> (analysis, severity, family)
+_SNAPSHOT = {
+    "MC-P01": (Analysis.LINT, Severity.ERROR, "missing-map"),
+    "MC-P02": (Analysis.LINT, Severity.ERROR, "missing-from"),
+    "MC-P03": (Analysis.LINT, Severity.ERROR, "stale-global"),
+    "MC-P04": (Analysis.LINT, Severity.ERROR, "config-divergence"),
+    "MC-S01": (Analysis.SANITIZER, Severity.ERROR, "refcount"),
+    "MC-S02": (Analysis.SANITIZER, Severity.WARNING, "leak"),
+    "MC-S03": (Analysis.SANITIZER, Severity.ERROR, "refcount"),
+    "MC-S04": (Analysis.SANITIZER, Severity.ERROR, "inflight-unmap"),
+    "MC-S05": (Analysis.SANITIZER, Severity.ERROR, "always-misuse"),
+    "MC-R01": (Analysis.RACES, Severity.WARNING, "map-race"),
+    "MC-R02": (Analysis.RACES, Severity.ERROR, "host-write-race"),
+    "MC-S10": (Analysis.STATIC, Severity.ERROR, "refcount"),
+    "MC-S11": (Analysis.STATIC, Severity.ERROR, "inflight-unmap"),
+    "MC-S12": (Analysis.STATIC, Severity.WARNING, "leak"),
+    "MC-P10": (Analysis.STATIC, Severity.ERROR, "missing-map"),
+}
+
+#: frozen (breaks_under, passes_under) matrices; None = finding-dependent
+_MATRICES = {
+    "MC-P01": ((COPY, EAGER), (USM, IZC)),
+    "MC-P02": ((COPY,), (USM, IZC, EAGER)),
+    "MC-P03": ((COPY, IZC, EAGER), (USM,)),
+    "MC-P04": None,
+    "MC-S01": (ALL, ()),
+    "MC-S02": ((COPY,), (USM, IZC, EAGER)),
+    "MC-S03": (ALL, ()),
+    "MC-S04": (ALL, ()),
+    "MC-S05": (ALL, ()),
+    "MC-R01": (ALL, ()),
+    "MC-R02": ((USM, IZC, EAGER), (COPY,)),
+    "MC-S10": (ALL, ()),
+    "MC-S11": (ALL, ()),
+    "MC-S12": ((COPY,), (USM, IZC, EAGER)),
+    "MC-P10": ((COPY, EAGER), (USM, IZC)),
+}
+
+
+def test_rule_set_matches_snapshot_exactly():
+    assert set(RULES) == set(_SNAPSHOT)
+    for rid, (analysis, severity, family) in _SNAPSHOT.items():
+        rule = RULES[rid]
+        assert rule.analysis is analysis, rid
+        assert rule.severity is severity, rid
+        assert rule.family == family, rid
+
+
+def test_canonical_matrices_match_snapshot_exactly():
+    assert CANONICAL_MATRICES == _MATRICES
+
+
+def test_every_rule_has_a_matrix_entry():
+    assert set(CANONICAL_MATRICES) == set(RULES)
+
+
+def test_matrices_partition_the_config_space():
+    for rid, matrix in CANONICAL_MATRICES.items():
+        if matrix is None:
+            continue
+        breaks_under, passes_under = matrix
+        assert not set(breaks_under) & set(passes_under), rid
+        assert set(breaks_under) | set(passes_under) <= set(ALL), rid
+
+
+def test_static_rule_matrices_derive_from_config_semantics():
+    """The static rules must not hand-copy their matrices: they are
+    derived from per-config semantics (XNACK, shadow copies) and must
+    agree with the canonical table — and, transitively, with what the
+    dynamic counterpart analyses emit."""
+    for kind, rid in (
+        ("underflow", "MC-S10"),
+        ("inflight", "MC-S11"),
+        ("leak", "MC-S12"),
+        ("uncovered", "MC-P10"),
+    ):
+        assert static_matrix(kind) == CANONICAL_MATRICES[rid], rid
+
+
+def test_families_group_static_with_dynamic():
+    assert RULE_FAMILIES["refcount"] == ("MC-S01", "MC-S03", "MC-S10")
+    assert RULE_FAMILIES["leak"] == ("MC-S02", "MC-S12")
+    assert RULE_FAMILIES["inflight-unmap"] == ("MC-S04", "MC-S11")
+    assert RULE_FAMILIES["missing-map"] == ("MC-P01", "MC-P10")

@@ -1,0 +1,75 @@
+"""SARIF 2.1.0 exporter: structure, rule catalog, locations, ordering."""
+
+import json
+
+from repro.check import CheckReport, Finding, RULES, to_sarif, write_sarif
+from repro.check.corpus import LeakWorkload, MissingMapWorkload
+from repro.check.static import static_report
+from repro.core import RuntimeConfig
+
+COPY = RuntimeConfig.COPY
+USM = RuntimeConfig.UNIFIED_SHARED_MEMORY
+
+
+def _reports():
+    return [
+        static_report(MissingMapWorkload(), "faulty-missing-map"),
+        static_report(LeakWorkload(), "faulty-leak"),
+    ]
+
+
+def test_sarif_skeleton_and_version():
+    log = to_sarif(_reports())
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "MapCheck"
+
+
+def test_sarif_rule_catalog_covers_every_rule_with_metadata():
+    (run,) = to_sarif([])["runs"]
+    rules = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+    assert set(rules) == set(RULES)
+    # metadata comes from the registry, not ad-hoc strings
+    p10 = rules["MC-P10"]
+    assert p10["defaultConfiguration"]["level"] == "error"
+    assert p10["properties"]["analysis"] == "static-dataflow"
+    assert p10["properties"]["breaksUnder"] == ["copy", "eager_maps"]
+    assert p10["properties"]["counterparts"] == ["MC-P01"]
+    s02 = rules["MC-S02"]
+    assert s02["defaultConfiguration"]["level"] == "warning"
+    assert s02["properties"]["counterparts"] == ["MC-S12"]
+
+
+def test_sarif_results_carry_locations_from_finding_source():
+    (run,) = to_sarif(_reports())["runs"]
+    results = run["results"]
+    assert len(results) == 2               # MC-P10 ghost + MC-S12 leaky
+    by_rule = {r["ruleId"]: r for r in results}
+    loc = by_rule["MC-P10"]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].endswith("corpus.py")
+    assert loc["region"]["startLine"] > 1
+    assert by_rule["MC-S12"]["level"] == "warning"
+
+
+def test_sarif_results_without_source_get_logical_location():
+    f = Finding(rule_id="MC-S01", buffer="b", message="m", workload="w")
+    rep = CheckReport(workload="w", fidelity="test", findings=[f])
+    (run,) = to_sarif([rep])["runs"]
+    (result,) = run["results"]
+    assert result["locations"][0]["logicalLocations"][0]["name"] == "b"
+
+
+def test_sarif_results_are_emitted_in_sort_key_order():
+    reports = list(reversed(_reports()))   # feed in shuffled order
+    (run,) = to_sarif(reports)["runs"]
+    ids = [(r["ruleId"], r["properties"]["workload"]) for r in run["results"]]
+    assert ids == sorted(ids)
+
+
+def test_write_sarif_round_trips(tmp_path):
+    path = tmp_path / "out.sarif"
+    write_sarif(_reports(), str(path))
+    data = json.loads(path.read_text())
+    assert data["version"] == "2.1.0"
+    assert len(data["runs"][0]["results"]) == 2

@@ -108,7 +108,7 @@ def test_mutex_serializes():
         env.process(critical(tag))
     env.run()
     # no two critical sections overlap
-    for (_, s1, e1), (_, s2, _e2) in zip(intervals, intervals[1:]):
+    for (_, _s1, e1), (_, s2, _e2) in zip(intervals, intervals[1:], strict=False):
         assert e1 <= s2
     assert env.now == 12.0
 
