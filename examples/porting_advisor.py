@@ -10,7 +10,11 @@ describe your app's offload pattern, and the advisor
    sanitizer + portability lint — and reports any defect that would make
    the answer configuration-dependent (a program that only works because
    XNACK papers over a missing map clause ports *from* the APU badly);
-2. simulates the profile under every runtime configuration and reports
+2. runs **MapCost** (``repro.check.static.cost``) — the symbolic cost
+   predictor — and cites the predicted per-configuration HSA call
+   counts, copy bytes and fault pages *before any simulation runs*,
+   plus any MC-W perf-lint pattern (map churn, fault storms, ...);
+3. simulates the profile under every runtime configuration and reports
    which one wins and what the dominant overhead is.
 
 Three canned profiles are analyzed (a streaming solver, an
@@ -116,9 +120,40 @@ def lint_profile(profile: AppProfile) -> bool:
     return False
 
 
+def predict_profile(profile: AppProfile) -> None:
+    """MapCost static phase: cite the predicted per-config costs.
+
+    Everything printed here comes from the symbolic cost walk over the
+    extracted IR — zero simulation events.  The timing table printed
+    afterwards is the measured confirmation (the two agree bit-exactly
+    on HSA call counts for resolvable patterns; see
+    ``repro check --perf-json``).
+    """
+    from repro.check.static.cost import CostEnv, perf_report, predict_costs
+    from repro.check.static.extract import ExtractionError, extract_workload
+    from repro.experiments import render_cost_table
+
+    try:
+        ir = extract_workload(ProfiledApp(profile), name=profile.name)
+    except ExtractionError as exc:
+        print(f"  mapcost: extraction failed ({exc}); skipping prediction")
+        return
+    predictions = {
+        c: predict_costs(ir, CostEnv.for_config(c)) for c in ALL_CONFIGS
+    }
+    table = render_cost_table(profile.name, predictions)
+    print("\n".join("  " + line for line in table.splitlines()))
+    perf = perf_report(ProfiledApp(profile), profile.name)
+    for f in perf.sorted_findings():
+        broken = ", ".join(c.label for c in f.breaks_under) or "none"
+        print(f"  perf-lint {f.rule_id} {f.rule.title} ({f.buffer}): "
+              f"pays the overhead under {broken}")
+
+
 def advise(profile: AppProfile) -> None:
     print(f"\n=== {profile.name} ===")
     portable = lint_profile(profile)
+    predict_profile(profile)
     times = {}
     details = {}
     for config in ALL_CONFIGS:

@@ -15,12 +15,19 @@ plus one purely static analysis over the workload *source*:
 * **MapFlow** (``static``) — abstract interpretation of the extracted
   map-operation IR: per-path refcount tracking, use-after-exit-data,
   leaks at thread end, uncovered raw-pointer touches — no simulation,
-  no instrumented run (``python -m repro check --static --no-sim``).
+  no instrumented run (``python -m repro check --static --no-sim``);
+* **MapCost** (``static.cost``) — symbolic cost prediction over the
+  same IR (per-config HSA call counts, copy bytes, fault pages, with
+  bit-exact validation against simulated telemetry) plus the MC-W
+  perf-lint rules (``python -m repro check --perf``).
 
 Entry points: :func:`check_workload` / :func:`check_named` /
 :func:`check_all`, surfaced on the CLI as ``python -m repro check``.
+Baselines (:mod:`repro.check.baseline`) let CI accept known findings
+and fail only on new ones.
 """
 
+from .baseline import apply_baseline, fingerprint, load_baseline, write_baseline
 from .events import CheckRecorder, buffer_key, instrument, payload_hash
 from .findings import (
     RULES,
@@ -58,12 +65,15 @@ __all__ = [
     "Rule",
     "Severity",
     "WORKLOADS",
+    "apply_baseline",
     "buffer_key",
     "check_all",
     "check_named",
     "check_workload",
     "dynamic_counterparts",
+    "fingerprint",
     "instrument",
+    "load_baseline",
     "make_workload",
     "merge_reports",
     "payload_hash",
@@ -74,5 +84,6 @@ __all__ = [
     "static_counterparts",
     "to_sarif",
     "workload_names",
+    "write_baseline",
     "write_sarif",
 ]

@@ -27,6 +27,7 @@ from ..workloads.base import Fidelity, Workload
 
 __all__ = [
     "CORPUS",
+    "PERF_CORPUS",
     "MissingMapWorkload",
     "MissingFromWorkload",
     "StaleGlobalWorkload",
@@ -37,6 +38,11 @@ __all__ = [
     "UseAfterUnmapWorkload",
     "MapRaceWorkload",
     "HostWriteRaceWorkload",
+    "MapChurnWorkload",
+    "RedundantMapWorkload",
+    "FaultStormWorkload",
+    "GlobalIndirectionWorkload",
+    "NoopUpdateWorkload",
 ]
 
 
@@ -310,6 +316,156 @@ class HostWriteRaceWorkload(Workload):
         return body
 
 
+# ---------------------------------------------------------------------------
+# perf-lint corpus: dynamically *clean* workloads whose mapping pattern
+# is expensive under specific configurations (one MC-W rule each)
+# ---------------------------------------------------------------------------
+
+
+class MapChurnWorkload(Workload):
+    """Maps and unmaps its working set on every iteration of a hot loop:
+    correct everywhere, but under Eager Maps each enter prefaults the
+    same pages again (MC-W01)."""
+
+    name = "perf-map-churn"
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        outputs = self.outputs
+
+        def body(th, tid):
+            data = yield from th.alloc("churny", MIB, payload=np.ones(8))
+            for _ in range(64):
+                yield from th.target_enter_data([MapClause(data, MapKind.TO)])
+                yield from th.target(
+                    "work", 10.0,
+                    maps=[MapClause(data, MapKind.ALLOC)],
+                    fn=lambda a, g: None,
+                )
+                yield from th.target_exit_data(
+                    [MapClause(data, MapKind.DELETE)]
+                )
+            outputs.put("done", 1.0)
+
+        return body
+
+
+class RedundantMapWorkload(Workload):
+    """Re-maps an already-present buffer with a non-``always`` ``to``:
+    the second copy intent never transfers (MC-W02)."""
+
+    name = "perf-redundant-map"
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        outputs = self.outputs
+
+        def body(th, tid):
+            data = yield from th.alloc("twice", MIB, payload=np.ones(8))
+            yield from th.target_enter_data([MapClause(data, MapKind.TO)])
+            yield from th.target(
+                "reuse", 50.0,
+                maps=[MapClause(data, MapKind.TO)],
+                fn=lambda a, g: None,
+            )
+            yield from th.target_exit_data([MapClause(data, MapKind.DELETE)])
+            outputs.put("done", 1.0)
+
+        return body
+
+
+class FaultStormWorkload(Workload):
+    """Allocates a fresh buffer inside a hot loop and hands it to a
+    kernel: every iteration's first touch re-faults the pages under
+    XNACK-serviced configurations (MC-W03)."""
+
+    name = "perf-fault-storm"
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        outputs = self.outputs
+
+        def body(th, tid):
+            for _ in range(64):
+                fresh = yield from th.alloc(
+                    "storm", 2 * MIB, payload=np.ones(4)
+                )
+                yield from th.target(
+                    "touch_fresh", 10.0,
+                    maps=[MapClause(fresh, MapKind.TOFROM)],
+                    fn=lambda a, g: None,
+                )
+                yield from th.free(fresh)
+            outputs.put("done", 1.0)
+
+        return body
+
+
+class GlobalIndirectionWorkload(Workload):
+    """A hot loop's kernel reads a declare-target global on every
+    iteration: under USM the GPU global is a pointer into host memory
+    and every access double-indirects (MC-W04)."""
+
+    name = "perf-global-indirection"
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def prepare(self, runtime):
+        self.glob = runtime.declare_target("gconst", np.ones(4))
+
+    def make_body(self):
+        outputs, glob = self.outputs, self.glob
+
+        def body(th, tid):
+            out = yield from th.alloc("out", MIB, payload=np.zeros(4))
+            yield from th.target_enter_data([MapClause(out, MapKind.TO)])
+            for _ in range(64):
+                yield from th.target(
+                    "read_g", 10.0,
+                    maps=[MapClause(out, MapKind.ALLOC)],
+                    globals_used=[glob],
+                    fn=lambda a, g: None,
+                )
+            yield from th.target_exit_data([MapClause(out, MapKind.DELETE)])
+            outputs.put("done", 1.0)
+
+        return body
+
+
+class NoopUpdateWorkload(Workload):
+    """Issues a ``target update`` for a buffer every zero-copy
+    configuration already shares with the device (MC-W05)."""
+
+    name = "perf-noop-update"
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        outputs = self.outputs
+
+        def body(th, tid):
+            data = yield from th.alloc("synced", MIB, payload=np.ones(8))
+            yield from th.target_enter_data([MapClause(data, MapKind.TO)])
+            yield from th.target_update(to=[data])
+            yield from th.target(
+                "consume", 50.0,
+                maps=[MapClause(data, MapKind.ALLOC)],
+                fn=lambda a, g: None,
+            )
+            yield from th.target_exit_data([MapClause(data, MapKind.DELETE)])
+            outputs.put("done", 1.0)
+
+        return body
+
+
 #: short name -> zero-argument faulty workload class, in a stable order
 CORPUS: Dict[str, Callable[[], Workload]] = {
     "missing-map": MissingMapWorkload,
@@ -322,4 +478,15 @@ CORPUS: Dict[str, Callable[[], Workload]] = {
     "use-after-unmap": UseAfterUnmapWorkload,
     "map-race": MapRaceWorkload,
     "host-write-race": HostWriteRaceWorkload,
+}
+
+#: short name -> dynamically-clean perf-pattern workload class; kept
+#: separate from CORPUS so the correctness differential (which expects
+#: dynamic findings for every entry) is unaffected
+PERF_CORPUS: Dict[str, Callable[[], Workload]] = {
+    "map-churn": MapChurnWorkload,
+    "redundant-map": RedundantMapWorkload,
+    "fault-storm": FaultStormWorkload,
+    "global-indirection": GlobalIndirectionWorkload,
+    "noop-update": NoopUpdateWorkload,
 }

@@ -35,12 +35,13 @@ class Severity(enum.Enum):
 
 
 class Analysis(enum.Enum):
-    """The cooperating MapCheck analyses (three dynamic, one static)."""
+    """The cooperating MapCheck analyses (three dynamic, two static)."""
 
     LINT = "portability-lint"
     SANITIZER = "mapping-sanitizer"
     RACES = "race-detector"
     STATIC = "static-dataflow"
+    PERF = "perf-lint"
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,27 @@ _ALL_RULES = (
          "a kernel raw-pointer touch is covered by no live map entry, "
          "target map clause, or declare-target global on any path to the "
          "dispatch", family="missing-map"),
+    # -- MapCost: static cost prediction / perf lint (repro.check.static.cost)
+    Rule("MC-W01", "map-churn-in-hot-loop", Analysis.PERF, Severity.WARNING,
+         "a map-enter/map-exit pair cycles inside a hot loop: under Eager "
+         "Maps every iteration pays a prefault ioctl for the same pages",
+         family="perf-map-churn"),
+    Rule("MC-W02", "redundant-map-of-present", Analysis.PERF, Severity.WARNING,
+         "a non-always 'to' map of a buffer that is already present never "
+         "transfers again: dead copy intent, misleading under Copy",
+         family="perf-redundant-map"),
+    Rule("MC-W03", "first-touch-fault-storm", Analysis.PERF, Severity.WARNING,
+         "a loop reallocates a buffer a kernel touches: each fresh "
+         "allocation re-faults its pages under XNACK-serviced configs",
+         family="perf-fault-storm"),
+    Rule("MC-W04", "global-indirection-in-loop", Analysis.PERF, Severity.WARNING,
+         "a kernel inside a hot loop reads declare-target globals: USM's "
+         "pointer-globals double-indirect on every access",
+         family="perf-global-indirection"),
+    Rule("MC-W05", "noop-target-update", Analysis.PERF, Severity.WARNING,
+         "'target update' moves bytes a zero-copy mapping already shares "
+         "with the device: pure overhead outside Copy",
+         family="perf-noop-update"),
 )
 
 #: rule id -> rule, in stable declaration order
@@ -146,6 +168,9 @@ class Finding:
     #: ``(path, line)`` of the defect in the workload source, when the
     #: analysis knows it (static findings do; dynamic ones usually don't)
     source: Optional[Tuple[str, int]] = None
+    #: matched a baseline fingerprint (``repro check --baseline``):
+    #: stays in reports and SARIF but no longer fails the run
+    suppressed: bool = False
 
     @property
     def rule(self) -> Rule:
@@ -174,6 +199,7 @@ class Finding:
             "confirmed_by": [c.value for c in self.confirmed_by],
             "related": list(self.related),
             "source": list(self.source) if self.source else None,
+            "suppressed": self.suppressed,
         }
 
     def sort_key(self) -> Tuple[str, str, str, float, int, str]:
@@ -213,7 +239,11 @@ class CheckReport:
 
     @property
     def ok(self) -> bool:
-        return not self.findings and self.aborted is None
+        return self.aborted is None and not self.active_findings()
+
+    def active_findings(self) -> List[Finding]:
+        """Findings not suppressed by a baseline."""
+        return [f for f in self.findings if not f.suppressed]
 
     def sorted_findings(self) -> List[Finding]:
         return sorted(
@@ -233,12 +263,8 @@ class CheckReport:
     def _config_flags(self, finding: Finding) -> str:
         cells = []
         for cfg in ALL_CONFIGS:
-            if cfg in finding.breaks_under:
-                mark = "break"
-            elif cfg in finding.passes_under:
-                mark = "ok"
-            else:
-                mark = "-"
+            mark = ("break" if cfg in finding.breaks_under
+                    else "ok" if cfg in finding.passes_under else "-")
             if cfg in finding.confirmed_by:
                 mark += "!"
             cells.append(f"{cfg.label}={mark}")
@@ -257,8 +283,10 @@ class CheckReport:
                          "all 4 runtime configurations")
         else:
             n_err = sum(1 for f in self.findings if f.severity is Severity.ERROR)
+            n_sup = sum(1 for f in self.findings if f.suppressed)
             lines.append(
                 f"{len(self.findings)} finding(s), {n_err} error(s)"
+                + (f", {n_sup} suppressed by baseline" if n_sup else "")
             )
             for f in self.sorted_findings():
                 loc = f"t={f.time_us:.1f}us" if f.time_us is not None else ""
@@ -268,6 +296,7 @@ class CheckReport:
                 lines.append(
                     f"[{f.severity.value.upper():7s}] {f.rule_id} "
                     f"{f.rule.title}  ({f.rule.analysis.value})"
+                    + ("  [suppressed]" if f.suppressed else "")
                 )
                 if f.buffer:
                     lines.append(f"  buffer : {f.buffer}" + (f"  ({head})" if head else ""))

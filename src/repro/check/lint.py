@@ -130,35 +130,35 @@ def _tofrom_missing_from(
             st.current = ev.payload_hash
             if ev.sync_device or ev.sync_host:
                 st.last_sync = ev.payload_hash
-            if ev.op == "exit" and ev.removed and not ev.sync_host:
-                if st.current != st.last_sync:
-                    # device writes discarded; only a defect if the data
-                    # is an application result
-                    buf = rec.buffers.get(ev.key)
-                    matched = tuple(
-                        k for k, arr in out_arrays.items()
-                        if buf is not None and payload_hash(arr) == st.current
-                    )
-                    if matched:
-                        findings.append(Finding(
-                            rule_id="MC-P02",
-                            buffer=ev.name,
-                            workload=workload,
-                            time_us=ev.t1,
-                            tid=ev.tid,
-                            message=(
-                                f"buffer {ev.name!r} was written by kernels "
-                                f"but its final map({ev.kind.value}) discards "
-                                "the device data; the host still observes the "
-                                "writes (zero-copy aliasing) and they feed "
-                                f"output(s) {', '.join(matched)} — under Copy "
-                                "semantics the host would keep the stale "
-                                "pre-kernel values"
-                            ),
-                            breaks_under=_COPYLIKE,
-                            passes_under=_ZERO_COPY,
-                            output_keys=matched,
-                        ))
+            if (ev.op == "exit" and ev.removed and not ev.sync_host
+                    and st.current != st.last_sync):
+                # device writes discarded; only a defect if the data
+                # is an application result
+                buf = rec.buffers.get(ev.key)
+                matched = tuple(
+                    k for k, arr in out_arrays.items()
+                    if buf is not None and payload_hash(arr) == st.current
+                )
+                if matched:
+                    findings.append(Finding(
+                        rule_id="MC-P02",
+                        buffer=ev.name,
+                        workload=workload,
+                        time_us=ev.t1,
+                        tid=ev.tid,
+                        message=(
+                            f"buffer {ev.name!r} was written by kernels "
+                            f"but its final map({ev.kind.value}) discards "
+                            "the device data; the host still observes the "
+                            "writes (zero-copy aliasing) and they feed "
+                            f"output(s) {', '.join(matched)} — under Copy "
+                            "semantics the host would keep the stale "
+                            "pre-kernel values"
+                        ),
+                        breaks_under=_COPYLIKE,
+                        passes_under=_ZERO_COPY,
+                        output_keys=matched,
+                    ))
         elif typ == "kernel":
             for key, h in ev.arg_hashes.items():
                 st = states.setdefault(key, _State(h))

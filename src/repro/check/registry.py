@@ -127,6 +127,12 @@ CANONICAL_MATRICES: Dict[
     "MC-S11": (_ALL, ()),
     "MC-S12": ((_COPY,), (_USM, _IZC, _EAGER)),
     "MC-P10": ((_COPY, _EAGER), (_USM, _IZC)),
+    # MapCost perf-lint: "breaks" = pays the predicted overhead there
+    "MC-W01": ((_EAGER,), (_COPY, _USM, _IZC)),
+    "MC-W02": ((_COPY,), (_USM, _IZC, _EAGER)),
+    "MC-W03": ((_USM, _IZC), (_COPY, _EAGER)),
+    "MC-W04": ((_USM,), (_COPY, _IZC, _EAGER)),
+    "MC-W05": ((_USM, _IZC, _EAGER), (_COPY,)),
 }
 
 

@@ -126,10 +126,9 @@ def _differential(
             and (key not in workload.outputs.values
                  or not _values_equal(workload.outputs.values[key], ref))
         )
-        if diverged:
-            outcomes[config] = "outputs diverge: " + ", ".join(diverged)
-        else:
-            outcomes[config] = "ok"
+        outcomes[config] = (
+            "outputs diverge: " + ", ".join(diverged) if diverged else "ok"
+        )
     return outcomes
 
 
@@ -235,34 +234,45 @@ def check_named(
     seed: int = 0,
     static: bool = False,
     dynamic: bool = True,
+    perf: bool = False,
 ) -> CheckReport:
     """Run MapCheck over one bundled workload by registry name.
 
     ``static=True`` additionally runs the MapFlow static analysis and
-    merges its findings; ``dynamic=False`` skips the instrumented and
-    differential runs entirely (pure static path, zero simulation).
+    merges its findings; ``perf=True`` additionally runs the MapCost
+    perf lint (also pure static); ``dynamic=False`` skips the
+    instrumented and differential runs entirely (no simulation).
     """
     from .static import analyze_named
+    from .static.cost import perf_report
+
+    def _perf() -> CheckReport:
+        return perf_report(make_workload(name, fidelity), name)
 
     if not dynamic:
-        return analyze_named(name, fidelity)
+        report = analyze_named(name, fidelity) if static else None
+        if perf:
+            report = _merge_static(report, _perf()) if report else _perf()
+        return report if report is not None else analyze_named(name, fidelity)
     report = check_workload(
         lambda: make_workload(name, fidelity), name,
         cross_check=cross_check, cost=cost, seed=seed,
     )
     if static:
         report = _merge_static(report, analyze_named(name, fidelity))
+    if perf:
+        report = _merge_static(report, _perf())
     return report
 
 
 def _check_one(
-    spec: Tuple[str, Fidelity, bool, bool, bool],
+    spec: Tuple[str, Fidelity, bool, bool, bool, bool],
 ) -> Tuple[str, CheckReport]:
     """Worker entry point (module-level so it pickles)."""
-    name, fidelity, cross_check, static, dynamic = spec
+    name, fidelity, cross_check, static, dynamic, perf = spec
     return name, check_named(
         name, fidelity, cross_check=cross_check,
-        static=static, dynamic=dynamic,
+        static=static, dynamic=dynamic, perf=perf,
     )
 
 
@@ -274,6 +284,7 @@ def check_all(
     jobs: int = 1,
     static: bool = False,
     dynamic: bool = True,
+    perf: bool = False,
 ) -> List[CheckReport]:
     """Run MapCheck over every bundled workload.
 
@@ -284,7 +295,7 @@ def check_all(
     parallel and serial output are byte-identical.
     """
     names = sorted(WORKLOADS)
-    specs = [(name, fidelity, cross_check, static, dynamic)
+    specs = [(name, fidelity, cross_check, static, dynamic, perf)
              for name in names]
     by_name: Dict[str, CheckReport] = {}
     if jobs > 1 and len(specs) > 1:
@@ -316,6 +327,6 @@ def check_all(
             progress(f"check {name}")
         reports.append(check_named(
             name, fidelity, cross_check=cross_check,
-            static=static, dynamic=dynamic,
+            static=static, dynamic=dynamic, perf=perf,
         ))
     return reports

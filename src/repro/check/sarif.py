@@ -74,6 +74,12 @@ def _result(finding: Finding) -> Dict[str, object]:
             "confirmedBy": [c.value for c in finding.confirmed_by],
         },
     }
+    if finding.suppressed:
+        # stays visible to SARIF viewers, marked as reviewed/accepted
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "accepted by MapCheck baseline file",
+        }]
     if finding.tid is not None:
         result["properties"]["tid"] = finding.tid
     if finding.time_us is not None:

@@ -1,0 +1,82 @@
+"""Integer intervals with an unbounded top: MapCost's base domain.
+
+Every predicted quantity is an ``[lo, hi]`` interval over non-negative
+integers; ``hi is None`` encodes +inf (an abstracted loop whose body
+effect could not be bounded).  Joins take the convex hull, so branch
+merges stay sound; a singleton interval is an *exact* prediction — the
+differential harness requires exactness for HSA call and map-op counts
+and mere containment for byte/page totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Interval", "ZERO", "ONE"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed integer interval ``[lo, hi]``; ``hi=None`` means unbounded."""
+
+    lo: int = 0
+    hi: Optional[int] = 0
+
+    def __post_init__(self):
+        if self.lo < 0:
+            raise ValueError(f"interval lower bound must be >= 0, got {self.lo}")
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def exact(cls, v: int) -> "Interval":
+        return cls(v, v)
+
+    # -- predicates --------------------------------------------------------
+    @property
+    def is_exact(self) -> bool:
+        return self.hi == self.lo
+
+    @property
+    def is_zero(self) -> bool:
+        return self.lo == 0 and self.hi == 0
+
+    def contains(self, v: int) -> bool:
+        return self.lo <= v and (self.hi is None or v <= self.hi)
+
+    # -- arithmetic --------------------------------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(self.lo + other.lo, hi)
+
+    __add__ = add
+
+    def sub1_clamped(self) -> "Interval":
+        """Decrement with a floor of zero (bucket pops, refcount drops)."""
+        hi = None if self.hi is None else max(self.hi - 1, 0)
+        return Interval(max(self.lo - 1, 0), hi)
+
+    def scale(self, k: int) -> "Interval":
+        if k < 0:
+            raise ValueError(f"cannot scale an interval by {k}")
+        hi = None if self.hi is None else self.hi * k
+        return Interval(self.lo * k, hi)
+
+    def join(self, other: "Interval") -> "Interval":
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(min(self.lo, other.lo), hi)
+
+    def widen_hi(self) -> "Interval":
+        return Interval(self.lo, None)
+
+    def __repr__(self) -> str:
+        if self.is_exact:
+            return f"={self.lo}"
+        hi = "inf" if self.hi is None else self.hi
+        return f"[{self.lo},{hi}]"
+
+
+ZERO = Interval(0, 0)
+ONE = Interval(1, 1)

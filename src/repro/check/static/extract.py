@@ -30,6 +30,8 @@ is the no-false-positive discipline the differential harness enforces.
 from __future__ import annotations
 
 import ast
+import contextlib
+import dataclasses
 import inspect
 import sys
 import textwrap
@@ -172,11 +174,9 @@ def _join_values(a, b):
         mb = b.members if isinstance(b, MaySet) else frozenset((b,))
         return MaySet(ma | mb)
     if _is_known(a) and _is_known(b):
-        try:
+        with contextlib.suppress(Exception):
             if bool(a == b):
                 return a
-        except Exception:
-            pass
     return OPAQUE
 
 
@@ -232,10 +232,8 @@ class _Env:
         """Replace the innermost scope with the join of two snapshots."""
         merged = {}
         for key in set(a) | set(b):
-            if key in a and key in b:
-                merged[key] = _join_values(a[key], b[key])
-            else:
-                merged[key] = OPAQUE
+            merged[key] = (_join_values(a[key], b[key])
+                           if key in a and key in b else OPAQUE)
         self.scopes[0].clear()
         self.scopes[0].update(merged)
 
@@ -266,7 +264,8 @@ class _Extractor:
     def _site_key(self, node: ast.AST) -> Tuple:
         return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0), self.ctx)
 
-    def _buffer_for(self, node: ast.Call, name: str) -> AbstractBuffer:
+    def _buffer_for(self, node: ast.Call, name: str,
+                    nbytes: Optional[int] = None) -> AbstractBuffer:
         key = self._site_key(node)
         buf = self._buffers.get(key)
         if buf is None:
@@ -275,6 +274,15 @@ class _Extractor:
                 site=f"t{self.tid}:L{key[0]}.{key[1]}{ctx}",
                 name=name, tid=self.tid, lineno=key[0],
             )
+            buf = dataclasses.replace(buf, nbytes=nbytes)
+            self._buffers[key] = buf
+            self.program.buffers[buf.site] = buf
+        elif buf.nbytes != nbytes:
+            # the same site folded to two different sizes across
+            # evaluation passes: the size is not a function of the site
+            if buf.nbytes is not None:
+                self.note(f"buffer size at L{key[0]} varies across passes")
+            buf = dataclasses.replace(buf, nbytes=None)
             self._buffers[key] = buf
             self.program.buffers[buf.site] = buf
         return buf
@@ -415,20 +423,18 @@ class _Extractor:
         return fn(a, b) if fn is not None else OPAQUE
 
     def _eval_BoolOp(self, node: ast.BoolOp):
-        vals = [self.eval(v) for v in node.values]
-        if not all(_is_known(v) for v in vals):
-            return OPAQUE
-        if isinstance(node.op, ast.And):
-            out = True
-            for v in vals:
-                out = v
-                if not v:
-                    return v
-            return out
-        for v in vals:
-            if v:
-                return v
-        return vals[-1]
+        # Short-circuit like Python: a known deciding operand settles the
+        # expression even when a *later* operand would be opaque (the
+        # interpreter never evaluates past it either).
+        want_truthy = isinstance(node.op, ast.Or)
+        out = None
+        for sub in node.values:
+            out = self.eval(sub)
+            if not _is_known(out):
+                return OPAQUE
+            if bool(out) == want_truthy:
+                return out
+        return out
 
     _CMPOPS = {
         ast.Eq: lambda a, b: a == b, ast.NotEq: lambda a, b: a != b,
@@ -676,9 +682,9 @@ class _Extractor:
 
     def _th_call(self, node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
         """Recognize ``th.<method>(...)``; returns (method, call node)."""
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if isinstance(self.eval(node.func.value), _ThProxy):
-                return node.func.attr, node
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and isinstance(self.eval(node.func.value), _ThProxy)):
+            return node.func.attr, node
         return None
 
     def _kwargs(self, node: ast.Call) -> Dict[str, ast.AST]:
@@ -733,7 +739,11 @@ class _Extractor:
             name = self.eval(name_node) if name_node is not None else OPAQUE
             if not isinstance(name, str):
                 name = "<buffer>"
-            buf = self._buffer_for(call, name)
+            size_node = arg(1, "nbytes")
+            size = self.eval(size_node) if size_node is not None else OPAQUE
+            nbytes = int(size) if isinstance(size, int) and not isinstance(
+                size, bool) else None
+            buf = self._buffer_for(call, name, nbytes=nbytes)
             self._emit(seq, AllocOp(lineno=lineno, buf=buf))
             if assign_to is not None:
                 self._bind_target(assign_to, BufVal(buf))
@@ -837,10 +847,7 @@ class _Extractor:
     def extract_stmts(self, stmts: List[ast.stmt], seq: Optional[Seq]) -> bool:
         """Process statements; returns False when a ``return`` ended the
         straight-line flow (callers stop extracting the sequence)."""
-        for stmt in stmts:
-            if not self.extract_stmt(stmt, seq):
-                return False
-        return True
+        return all(self.extract_stmt(stmt, seq) for stmt in stmts)
 
     def extract_stmt(self, stmt: ast.stmt, seq: Optional[Seq]) -> bool:
         if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
@@ -973,6 +980,7 @@ class _Extractor:
             self.note(f"loop at L{stmt.lineno} has {len(items)} trips > "
                       f"{UNROLL_LIMIT}; abstracting")
         self._abstract_loop(stmt, seq, min_trips=1, kind="for",
+                            trips=len(items) if items is not None else None,
                             bind=lambda: self._bind_loop_var(stmt, items))
 
     def _bind_loop_var(self, stmt: ast.For, items) -> None:
@@ -991,7 +999,7 @@ class _Extractor:
         self._abstract_loop(stmt, seq, min_trips=0, kind="while", bind=lambda: None)
 
     def _abstract_loop(self, stmt, seq: Optional[Seq], *, min_trips: int,
-                       kind: str, bind) -> None:
+                       kind: str, bind, trips: Optional[int] = None) -> None:
         """Env-fixpoint extraction: re-evaluate the body without emitting
         until bindings stabilize, then emit IR once from the stable env."""
         pre = self.env.snapshot()
@@ -1008,7 +1016,7 @@ class _Extractor:
             self.env.merge(pre, self.env.snapshot())
         if seq is not None:
             seq.items.append(Loop(body=body_seq, min_trips=min_trips,
-                                  kind=kind, lineno=stmt.lineno))
+                                  kind=kind, lineno=stmt.lineno, trips=trips))
 
     # ------------------------------------------------------------------
     def run(self) -> ThreadProgram:
@@ -1026,19 +1034,62 @@ class _Extractor:
 # ---------------------------------------------------------------------------
 
 
-def _scan_prepare(workload) -> Tuple[Dict[str, GlobalRef], Tuple[str, ...]]:
+def _fold_global_size(call: ast.Call, workload) -> Optional[int]:
+    """Fold the byte size ``declare_target`` would allocate for a global.
+
+    Mirrors ``OpenMPRuntime.declare_target``: the backing range is
+    ``max(nbytes or 0, value.nbytes, 8)``.  The value/nbytes expressions
+    are evaluated against the real workload instance (as ``self``) and
+    its module globals; any failure yields ``None`` (size unresolved).
+    """
+    make_body = getattr(getattr(workload, "make_body", None), "__func__", None)
+    mod_globals = getattr(make_body, "__globals__", None)
+    if mod_globals is None:
+        module = sys.modules.get(type(workload).__module__)
+        mod_globals = dict(vars(module)) if module is not None else {}
+    value_node = call.args[1] if len(call.args) > 1 else None
+    nbytes_node = call.args[2] if len(call.args) > 2 else None
+    for kw in call.keywords:
+        if kw.arg == "value":
+            value_node = kw.value
+        elif kw.arg == "nbytes":
+            nbytes_node = kw.value
+
+    def _fold(node: Optional[ast.AST]):
+        if node is None:
+            return None
+        return eval(  # noqa: S307 - same trust level as running prepare()
+            compile(ast.Expression(body=node), "<prepare>", "eval"),
+            mod_globals, {"self": workload},
+        )
+
+    try:
+        value = _fold(value_node)
+        nbytes = _fold(nbytes_node)
+        vbytes = getattr(value, "nbytes", None)
+        if vbytes is None:
+            return None
+        return max(int(nbytes or 0), int(vbytes), 8)
+    except Exception:
+        return None
+
+
+def _scan_prepare(workload) -> Tuple[
+    Dict[str, GlobalRef], Tuple[str, ...], Dict[str, Optional[int]]
+]:
     """AST-scan ``prepare`` for ``self.<attr> = runtime.declare_target(
     "<name>", ...)`` without running it (it needs a live runtime)."""
     prepare = getattr(workload, "prepare", None)
     if prepare is None:
-        return {}, ()
+        return {}, (), {}
     try:
         src = textwrap.dedent(inspect.getsource(prepare))
         tree = ast.parse(src)
     except (OSError, TypeError, SyntaxError):
-        return {}, ()
+        return {}, (), {}
     attrs: Dict[str, GlobalRef] = {}
     names: List[str] = []
+    sizes: Dict[str, Optional[int]] = {}
     for node in ast.walk(tree):
         if not isinstance(node, ast.Assign) or len(node.targets) != 1:
             continue
@@ -1058,7 +1109,8 @@ def _scan_prepare(workload) -> Tuple[Dict[str, GlobalRef], Tuple[str, ...]]:
             gname = value.args[0].value
             attrs[target.attr] = GlobalRef(gname)
             names.append(gname)
-    return attrs, tuple(names)
+            sizes[gname] = _fold_global_size(value, workload)
+    return attrs, tuple(names), sizes
 
 
 def _body_function(make_body_fn) -> Tuple[ast.FunctionDef, List[ast.stmt], dict, str]:
@@ -1073,9 +1125,15 @@ def _body_function(make_body_fn) -> Tuple[ast.FunctionDef, List[ast.stmt], dict,
     fn = tree.body[0]
     if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
         raise ExtractionError("make_body source does not start with a def")
-    module = sys.modules.get(make_body_fn.__module__)
-    mod_globals = vars(module) if module is not None else {}
-    source_file = getattr(module, "__file__", "") or ""
+    # The function's own __globals__ IS the defining module's namespace,
+    # even for modules loaded via importlib.spec_from_file_location that
+    # never land in sys.modules (the examples-smoke loader does this).
+    fn_obj = getattr(make_body_fn, "__func__", make_body_fn)
+    mod_globals = getattr(fn_obj, "__globals__", None)
+    if mod_globals is None:
+        module = sys.modules.get(make_body_fn.__module__)
+        mod_globals = vars(module) if module is not None else {}
+    source_file = mod_globals.get("__file__", "") or ""
     return fn, fn.body, mod_globals, source_file
 
 
@@ -1085,12 +1143,13 @@ def extract_workload(workload, name: str = "") -> WorkloadIR:
     if make_body is None:
         raise ExtractionError(f"{workload!r} has no make_body")
     fn, mb_stmts, mod_globals, source_file = _body_function(make_body)
-    global_attrs, global_names = _scan_prepare(workload)
+    global_attrs, global_names, global_sizes = _scan_prepare(workload)
     out = WorkloadIR(
         name=name or getattr(workload, "name", type(workload).__name__),
         n_threads=getattr(workload, "n_threads", 1),
         globals_declared=frozenset(global_names),
         source_file=source_file,
+        global_sizes=global_sizes,
     )
     proxy = _InstanceProxy(workload, global_attrs)
     # one make_body evaluation shared by every thread: module-level

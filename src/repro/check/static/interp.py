@@ -162,18 +162,13 @@ class _ThreadInterp:
                     "underflow", site, op.lineno, op.op_id,
                     context=f"map({(clause.kind or MapKind.TOFROM).value}:)",
                 )
-            if rc.is_bottom:
-                # a buffer this thread never saw (cross-thread): unknown
-                heap[site] = TOP
-            else:
-                heap[site] = rc.exit(delete=delete)
+            # bottom = a buffer this thread never saw (cross-thread)
+            heap[site] = TOP if rc.is_bottom else rc.exit(delete=delete)
             return
         for site in clause.buf.sites:
             rc = heap.get(site, BOT)
-            if rc.is_bottom:
-                heap[site] = TOP
-            else:
-                heap[site] = rc.join(rc.exit(delete=delete))
+            heap[site] = (TOP if rc.is_bottom
+                          else rc.join(rc.exit(delete=delete)))
 
     # -- op transfer ----------------------------------------------------
     def _transfer(self, heap: Dict[AbstractBuffer, Refcount],
@@ -211,10 +206,7 @@ class _ThreadInterp:
                             heap[site] = rc.join(ZERO)
             return inflight
         if isinstance(op, WaitOp):
-            if op.unknown:
-                done = inflight
-            else:
-                done = inflight & op.handle_ids
+            done = inflight if op.unknown else inflight & op.handle_ids
             for hid in sorted(done):
                 clauses, _refs = program.handles.get(hid, ((), frozenset()))
                 for clause in clauses:

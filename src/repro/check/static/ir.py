@@ -51,6 +51,10 @@ class AbstractBuffer:
     name: str          #: the buffer name passed to ``th.alloc`` (best effort)
     tid: int           #: thread whose extraction created the site
     lineno: int = 0
+    #: folded byte size of the allocation, when the extractor resolved it
+    #: (excluded from identity: two evaluation passes of one site must
+    #: stay the same buffer even if the size folds differently)
+    nbytes: Optional[int] = field(default=None, compare=False)
 
     def __repr__(self) -> str:  # compact in interp traces
         return f"<{self.name}@{self.site}>"
@@ -88,6 +92,23 @@ class BufRef:
             return "|".join(sorted(b.name for b in self.sites))
         return "<?>"
 
+    def nbytes_bounds(self) -> Tuple[int, Optional[int]]:
+        """Symbolic ``[lo, hi]`` byte-size interval of the operand.
+
+        ``hi is None`` means unbounded (an unresolved operand or a site
+        whose allocation size did not fold).  Sizes live on the sites, so
+        callers should prefer resolving through the owning
+        :class:`ThreadProgram`'s canonical buffer registry when they have
+        one — the extractor may refine a site's size after a ref to it
+        was built.
+        """
+        if self.unknown or not self.sites:
+            return (0, None)
+        sizes = [b.nbytes for b in self.sites]
+        if any(s is None for s in sizes):
+            return (0, None)
+        return (min(sizes), max(sizes))
+
 
 @dataclass(frozen=True)
 class ClauseIR:
@@ -96,6 +117,10 @@ class ClauseIR:
     buf: BufRef
     kind: Optional[MapKind]      #: None when the kind itself is opaque
     always: bool = False
+
+    def nbytes_bounds(self) -> Tuple[int, Optional[int]]:
+        """Byte-size interval of the clause operand (see BufRef)."""
+        return self.buf.nbytes_bounds()
 
 
 _next_op_id = [0]
@@ -198,12 +223,17 @@ class Loop:
     ``min_trips=1`` encodes the documented soundness assumption that a
     ``for`` over a workload-supplied range runs at least once (every
     fidelity produces >= 2 steps); ``while`` loops get ``min_trips=0``.
+    ``trips`` carries the exact trip count when the iterable's length
+    folded against the workload instance but exceeded the unroll limit
+    (``None`` for ``while`` loops and unresolvable iterables) — the cost
+    analysis iterates such loops symbolically instead of widening.
     """
 
     body: Seq = field(default_factory=Seq)
     min_trips: int = 1
     kind: str = "for"
     lineno: int = 0
+    trips: Optional[int] = None
 
 
 @dataclass
@@ -238,6 +268,9 @@ class WorkloadIR:
     source_file: str = ""
     #: places where extraction lost precision (for diagnostics/tests)
     imprecision: List[str] = field(default_factory=list)
+    #: declare-target global name -> folded byte size (None = unresolved),
+    #: recovered from the same ``prepare`` AST scan as globals_declared
+    global_sizes: Dict[str, Optional[int]] = field(default_factory=dict)
 
     def thread(self, tid: int) -> ThreadProgram:
         return self.threads[tid]

@@ -36,8 +36,8 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ConfigSemantics:
-    """The two facts about a runtime configuration the static rules
-    depend on (the dynamic analyses consult the same two)."""
+    """The three facts about a runtime configuration the static rules
+    depend on (the dynamic analyses consult the same ones)."""
 
     config: RuntimeConfig
     #: XNACK page-fault servicing makes stray device touches of host
@@ -46,6 +46,9 @@ class ConfigSemantics:
     #: the configuration materializes device shadow copies, so a leaked
     #: present-table entry pins real device memory
     shadow_copies: bool
+    #: GPU declare-target globals are pointers into host memory, so
+    #: every device access double-indirects (USM only)
+    pointer_globals: bool = False
 
 
 SEMANTICS: Dict[RuntimeConfig, ConfigSemantics] = {
@@ -54,6 +57,7 @@ SEMANTICS: Dict[RuntimeConfig, ConfigSemantics] = {
         xnack=cfg in (RuntimeConfig.UNIFIED_SHARED_MEMORY,
                       RuntimeConfig.IMPLICIT_ZERO_COPY),
         shadow_copies=cfg not in ZERO_COPY_CONFIGS,
+        pointer_globals=cfg.globals_as_pointer,
     )
     for cfg in ALL_CONFIGS
 }

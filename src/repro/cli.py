@@ -9,15 +9,23 @@
     python -m repro table3
     python -m repro all    [--quick] [--out report.txt]
     python -m repro check [workload|all] [--json] [--no-cross] [--rules]
-                          [--static] [--no-sim] [--sarif FILE] [--jobs N]
+                          [--static] [--perf] [--no-sim] [--sarif FILE]
+                          [--perf-json FILE] [--baseline FILE]
+                          [--write-baseline FILE] [--jobs N]
     python -m repro bench  [--quick] [--jobs N] [--bench-json BENCH.json]
 
 ``check`` runs the MapCheck sanitizer/lint over a bundled workload (or
 all of them) and exits 1 if any finding survives — suitable for CI.
-``--static`` adds the MapFlow static dataflow analysis; with ``--no-sim``
-it is the *only* analysis and no simulation runs at all.  ``--sarif``
-writes the findings as SARIF 2.1.0.  For ``check all``, ``--jobs`` fans
-the workloads out over a process pool with byte-identical output.
+``--static`` adds the MapFlow static dataflow analysis; ``--perf`` adds
+the MapCost perf lint (MC-W rules) and ``--perf-json FILE`` writes the
+static-vs-simulated cost differential (predicted HSA call counts must be
+bit-exact); with ``--no-sim`` the static analyses are the only ones and
+no simulation runs at all.  ``--sarif`` writes the findings as SARIF
+2.1.0.  ``--baseline FILE`` suppresses findings whose fingerprints were
+accepted by an earlier ``--write-baseline FILE`` run (suppressed
+findings stay in SARIF, carrying ``suppressions``).  For ``check all``,
+``--jobs`` fans the workloads out over a process pool with
+byte-identical output.
 
 ``--jobs N`` fans the independent (workload, config, repetition) cells
 of an experiment out over N worker processes; results are bit-identical
@@ -139,8 +147,8 @@ def cmd_check(args) -> str:
     args.exit_code = 0
     if args.rules:
         return render_rule_table()
-    if args.no_sim and not args.static:
-        raise SystemExit("--no-sim requires --static")
+    if args.no_sim and not (args.static or args.perf):
+        raise SystemExit("--no-sim requires --static or --perf")
     target = args.workload or "all"
     # recording + 3 differential runs per workload: TEST fidelity keeps
     # `check all` in CI territory
@@ -150,7 +158,7 @@ def cmd_check(args) -> str:
     if target == "all":
         reports = check_all(
             fidelity, cross_check=not args.no_cross, progress=_progress,
-            jobs=args.jobs, static=static, dynamic=dynamic,
+            jobs=args.jobs, static=static, dynamic=dynamic, perf=args.perf,
         )
     else:
         if target not in workload_names():
@@ -160,10 +168,48 @@ def cmd_check(args) -> str:
             )
         reports = [check_named(
             target, fidelity, cross_check=not args.no_cross,
-            static=static, dynamic=dynamic,
+            static=static, dynamic=dynamic, perf=args.perf,
         )]
+    if args.baseline:
+        from .check.baseline import apply_baseline, load_baseline
+
+        stats = apply_baseline(reports, load_baseline(args.baseline))
+        print(
+            f"baseline {args.baseline}: {stats['suppressed']} of "
+            f"{stats['findings']} finding(s) suppressed, "
+            f"{stats['stale_fingerprints']} stale fingerprint(s)",
+            file=sys.stderr,
+        )
+    if args.write_baseline:
+        from .check.baseline import write_baseline
+
+        n = write_baseline(reports, args.write_baseline)
+        print(
+            f"wrote {args.write_baseline} ({n} fingerprint(s))",
+            file=sys.stderr,
+        )
     if any(not r.ok for r in reports):
         args.exit_code = 1
+    if args.perf_json:
+        from .check.static.cost import cost_differential
+
+        names = sorted(workload_names()) if target == "all" else [target]
+        cells = cost_differential(names, fidelity=fidelity)
+        with open(args.perf_json, "w") as fh:
+            json.dump({
+                "ok": all(c.ok for c in cells),
+                "cells": [{
+                    "workload": c.workload,
+                    "config": c.config.value,
+                    "predicted": c.prediction.to_dict(),
+                    "measured": c.measured,
+                    "mismatches": c.mismatches,
+                } for c in cells],
+            }, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.perf_json}", file=sys.stderr)
+        if not all(c.ok for c in cells):
+            args.exit_code = 1
     if args.sarif:
         from .check.sarif import write_sarif
 
@@ -235,10 +281,34 @@ def build_parser() -> argparse.ArgumentParser:
         "simulation needed for its findings)",
     )
     parser.add_argument(
+        "--perf", action="store_true",
+        help="for 'check': additionally run the MapCost perf lint "
+        "(MC-W rules: map churn, redundant maps, fault storms, global "
+        "indirection, no-op updates — static, no simulation needed)",
+    )
+    parser.add_argument(
+        "--perf-json", default=None, metavar="FILE",
+        help="for 'check': write the MapCost static-vs-simulated cost "
+        "differential (predicted HSA call counts, map ops, copy bytes, "
+        "fault pages per configuration) as JSON; exits 1 on any "
+        "prediction mismatch",
+    )
+    parser.add_argument(
         "--no-sim", action="store_true",
-        help="for 'check' with --static: skip the instrumented and "
-        "differential runs entirely — pure static analysis, zero "
+        help="for 'check' with --static/--perf: skip the instrumented "
+        "and differential runs entirely — pure static analysis, zero "
         "simulation events",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="for 'check': suppress findings whose fingerprints appear "
+        "in this baseline file (they stay in the SARIF output with a "
+        "'suppressions' entry but do not fail the run)",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="for 'check': record the current findings' fingerprints as "
+        "the accepted baseline",
     )
     parser.add_argument(
         "--sarif", default=None, metavar="FILE",

@@ -156,6 +156,7 @@ class CopyPolicy(DataPolicy):
                 )
                 self.hsa.attach_async_handler(sig)
                 self.ledger.mm_copy_us += self.cost.copy_us(buf.nbytes)
+                self.ledger.h2d_bytes += buf.nbytes
                 h2d_signals.append(sig)
             self._note_map("enter", clause, tid, t_op,
                            is_new=is_new, refcount=entry.refcount, removed=False)
@@ -181,6 +182,7 @@ class CopyPolicy(DataPolicy):
                 )
                 yield from self.hsa.signal_wait_scacquire(sig)
                 self.ledger.mm_copy_us += self.env.now - t0
+                self.ledger.d2h_bytes += buf.nbytes
             if last:
                 grant = yield self.rt.lock.acquire()
                 try:
@@ -215,6 +217,7 @@ class CopyPolicy(DataPolicy):
         )
         yield from self.hsa.signal_wait_scacquire(sig)
         self.ledger.mm_copy_us += self.env.now - t0
+        self.ledger.h2d_bytes += glob.nbytes
 
     def motion_update(self, buf: HostBuffer, to_device: bool):
         buf.check_alive()
@@ -224,13 +227,18 @@ class CopyPolicy(DataPolicy):
             yield self.env.charge(self.cost.omp_runtime_call_us)
             return
         t0 = self.env.now
-        if to_device:
-            dst, src, tag = entry.device.payload, buf.payload, f"upd-to:{buf.name}"
-        else:
-            dst, src, tag = buf.payload, entry.device.payload, f"upd-from:{buf.name}"
+        dst, src, tag = (
+            (entry.device.payload, buf.payload, f"upd-to:{buf.name}")
+            if to_device
+            else (buf.payload, entry.device.payload, f"upd-from:{buf.name}")
+        )
         sig = self.hsa.memory_async_copy(dst, src, buf.nbytes, tag=tag)
         yield from self.hsa.signal_wait_scacquire(sig)
         self.ledger.mm_copy_us += self.env.now - t0
+        if to_device:
+            self.ledger.h2d_bytes += buf.nbytes
+        else:
+            self.ledger.d2h_bytes += buf.nbytes
 
 
 class ZeroCopyPolicy(DataPolicy):
@@ -303,6 +311,7 @@ class ZeroCopyPolicy(DataPolicy):
         np.copyto(glob.device_view(), glob.host_payload)
         self.hsa.trace.record("memory_copy", self.env.now - dur, dur)
         self.ledger.mm_copy_us += dur
+        self.ledger.shadow_bytes += glob.nbytes
 
 
 class UsmPolicy(ZeroCopyPolicy):

@@ -10,6 +10,7 @@ from .figures import (
     fig4_series,
 )
 from .report import (
+    render_cost_table,
     render_fig3,
     render_fig4,
     render_table1,
@@ -59,6 +60,7 @@ __all__ = [
     "run_bench",
     "run_cells",
     "write_bench",
+    "render_cost_table",
     "render_fig3",
     "render_fig4",
     "render_table1",

@@ -24,6 +24,7 @@ entries count as misses.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import hashlib
 import json
@@ -131,10 +132,8 @@ class CellCache:
                 fh.write("\n")
             os.replace(tmp, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
         self.stores += 1
 

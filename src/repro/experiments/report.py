@@ -14,6 +14,7 @@ from .figures import QmcPackGrid, fig3_series, fig4_series
 from .tables import PAPER_TABLE2, Table1Result, Table2Result, Table3Result
 
 __all__ = [
+    "render_cost_table",
     "render_fig3",
     "render_fig4",
     "render_table1",
@@ -22,6 +23,7 @@ __all__ = [
 ]
 
 _SHORT = {
+    RuntimeConfig.COPY: "Copy",
     RuntimeConfig.UNIFIED_SHARED_MEMORY: "USM",
     RuntimeConfig.IMPLICIT_ZERO_COPY: "Implicit Z-C",
     RuntimeConfig.EAGER_MAPS: "Eager Maps",
@@ -105,6 +107,35 @@ def render_table2(result: Table2Result, compare_paper: bool = True) -> str:
             )
             lines.append(f"  {'  (paper)':<24}{paper}")
     lines.append(f"  max CoV observed: {result.max_cov():.3f} (paper: 0.03)")
+    return "\n".join(lines)
+
+
+def render_cost_table(name: str, predictions) -> str:
+    """MapCost predicted per-configuration costs, one row per counter.
+
+    ``predictions`` maps :class:`~repro.core.config.RuntimeConfig` to a
+    :class:`~repro.check.static.cost.CostPrediction` (the porting
+    advisor's static phase, and the README quickstart, feed this the
+    output of ``predict_costs`` — zero simulation events).  Exact
+    predictions render as ``=n``; widened ones as ``[lo,hi]``.
+    """
+    from ..check.static.cost import ALL_KEYS
+
+    configs = list(predictions)
+    width = 22 + 16 * len(configs)
+    lines = [
+        f"MapCost prediction — {name} (static, no simulation)",
+        _rule(width),
+        "  " + f"{'counter':<20}"
+        + "".join(f"{_SHORT[c]:>16}" for c in configs),
+    ]
+    for key in ALL_KEYS:
+        ivs = [predictions[c].interval(key) for c in configs]
+        if all(iv.is_zero for iv in ivs):
+            continue
+        lines.append(
+            "  " + f"{key:<20}" + "".join(f"{iv!r:>16}" for iv in ivs)
+        )
     return "\n".join(lines)
 
 

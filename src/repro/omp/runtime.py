@@ -193,10 +193,9 @@ class OpenMPRuntime:
         now = self.env.now
         if name not in self.marks:
             self.marks[name] = now
-        elif first:
-            self.marks[name] = min(self.marks[name], now)
         else:
-            self.marks[name] = max(self.marks[name], now)
+            pick = min if first else max
+            self.marks[name] = pick(self.marks[name], now)
 
     def run(
         self,

@@ -307,10 +307,8 @@ class Process(Event):
             if trigger is self._interrupt_ev:
                 self._interrupt_ev = None
             try:
-                if trigger._ok:
-                    nxt = send(trigger._value)
-                else:
-                    nxt = gen.throw(trigger._value)
+                nxt = (send(trigger._value) if trigger._ok
+                       else gen.throw(trigger._value))
                 while nxt is _CHARGE:
                     d = env._charge_val
                     q = env._queue
@@ -571,18 +569,18 @@ class Environment:
         # Recycle iff the engine held the only reference (local + arg = 2):
         # user-held events keep their full post-processing semantics.
         cls = event.__class__
-        if cls is Timeout:
-            if _getrefcount(event) == 2 and len(self._timeout_pool) < _POOL_MAX:
-                event._state = RECYCLED
-                event._era += 1
-                event._value = None
-                self._timeout_pool.append(event)
-        elif cls is Event:
-            if _getrefcount(event) == 2 and len(self._event_pool) < _POOL_MAX:
-                event._state = RECYCLED
-                event._era += 1
-                event._value = None
-                self._event_pool.append(event)
+        if (cls is Timeout and _getrefcount(event) == 2
+                and len(self._timeout_pool) < _POOL_MAX):
+            event._state = RECYCLED
+            event._era += 1
+            event._value = None
+            self._timeout_pool.append(event)
+        elif (cls is Event and _getrefcount(event) == 2
+                and len(self._event_pool) < _POOL_MAX):
+            event._state = RECYCLED
+            event._era += 1
+            event._value = None
+            self._event_pool.append(event)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until ``until`` fires (an Event), until time ``until`` (a
@@ -619,18 +617,18 @@ class Environment:
                     count += 1
                     event._process()
                     cls = event.__class__
-                    if cls is Timeout:
-                        if getref(event) == 2 and len(tpool) < _POOL_MAX:
-                            event._state = RECYCLED
-                            event._era += 1
-                            event._value = None
-                            tpool.append(event)
-                    elif cls is Event:
-                        if getref(event) == 2 and len(epool) < _POOL_MAX:
-                            event._state = RECYCLED
-                            event._era += 1
-                            event._value = None
-                            epool.append(event)
+                    if (cls is Timeout and getref(event) == 2
+                            and len(tpool) < _POOL_MAX):
+                        event._state = RECYCLED
+                        event._era += 1
+                        event._value = None
+                        tpool.append(event)
+                    elif (cls is Event and getref(event) == 2
+                            and len(epool) < _POOL_MAX):
+                        event._state = RECYCLED
+                        event._era += 1
+                        event._value = None
+                        epool.append(event)
             finally:
                 self._event_count += count
             if not stop.ok:

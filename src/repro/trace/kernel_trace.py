@@ -39,6 +39,9 @@ class RunLedger:
     n_map_enters: int = 0
     n_map_exits: int = 0
     n_faulted_pages: int = 0
+    h2d_bytes: int = 0          #: mapping-induced host-to-device bytes
+    d2h_bytes: int = 0          #: mapping-induced device-to-host bytes
+    shadow_bytes: int = 0       #: global shadow-copy refresh bytes (IZC/Eager)
 
     @property
     def mm_us(self) -> float:
@@ -66,6 +69,9 @@ class RunLedger:
             "wait_us": self.wait_us,
             "n_kernels": self.n_kernels,
             "n_faulted_pages": self.n_faulted_pages,
+            "h2d_bytes": self.h2d_bytes,
+            "d2h_bytes": self.d2h_bytes,
+            "shadow_bytes": self.shadow_bytes,
         }
 
 

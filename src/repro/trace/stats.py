@@ -89,8 +89,17 @@ class RepetitionStats:
         return float(np.max(self.values))
 
     def ratio_of_medians(self, other: "RepetitionStats") -> float:
-        """median(self) / median(other) — the paper's ratio estimator."""
+        """median(self) / median(other) — the paper's ratio estimator.
+
+        Degenerate inputs raise :class:`ValueError` with a clear message
+        (never a bare ``ZeroDivisionError``): an empty sample has no
+        median, and a zero-median denominator has no defined ratio.
+        """
+        if len(self.values) == 0 or len(other.values) == 0:
+            raise ValueError("ratio_of_medians over an empty sample")
         denom = other.median
         if denom == 0.0:
-            raise ZeroDivisionError("ratio against zero-median sample")
+            raise ValueError(
+                "ratio_of_medians against a zero-median sample is undefined"
+            )
         return self.median / denom

@@ -38,6 +38,11 @@ _SNAPSHOT = {
     "MC-S11": (Analysis.STATIC, Severity.ERROR, "inflight-unmap"),
     "MC-S12": (Analysis.STATIC, Severity.WARNING, "leak"),
     "MC-P10": (Analysis.STATIC, Severity.ERROR, "missing-map"),
+    "MC-W01": (Analysis.PERF, Severity.WARNING, "perf-map-churn"),
+    "MC-W02": (Analysis.PERF, Severity.WARNING, "perf-redundant-map"),
+    "MC-W03": (Analysis.PERF, Severity.WARNING, "perf-fault-storm"),
+    "MC-W04": (Analysis.PERF, Severity.WARNING, "perf-global-indirection"),
+    "MC-W05": (Analysis.PERF, Severity.WARNING, "perf-noop-update"),
 }
 
 #: frozen (breaks_under, passes_under) matrices; None = finding-dependent
@@ -57,6 +62,11 @@ _MATRICES = {
     "MC-S11": (ALL, ()),
     "MC-S12": ((COPY,), (USM, IZC, EAGER)),
     "MC-P10": ((COPY, EAGER), (USM, IZC)),
+    "MC-W01": ((EAGER,), (COPY, USM, IZC)),
+    "MC-W02": ((COPY,), (USM, IZC, EAGER)),
+    "MC-W03": ((USM, IZC), (COPY, EAGER)),
+    "MC-W04": ((USM,), (COPY, IZC, EAGER)),
+    "MC-W05": ((USM, IZC, EAGER), (COPY,)),
 }
 
 
@@ -98,6 +108,18 @@ def test_static_rule_matrices_derive_from_config_semantics():
         ("uncovered", "MC-P10"),
     ):
         assert static_matrix(kind) == CANONICAL_MATRICES[rid], rid
+
+
+def test_perf_rule_matrices_derive_from_config_semantics():
+    """MC-W matrices likewise must be derived (from the extended
+    ConfigSemantics predicates), never hand-copied."""
+    from repro.check.static.cost import PERF_RULE_IDS, perf_matrix
+
+    assert set(PERF_RULE_IDS) == {
+        "MC-W01", "MC-W02", "MC-W03", "MC-W04", "MC-W05"
+    }
+    for rid in PERF_RULE_IDS:
+        assert perf_matrix(rid) == CANONICAL_MATRICES[rid], rid
 
 
 def test_families_group_static_with_dynamic():

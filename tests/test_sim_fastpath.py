@@ -1,6 +1,8 @@
 """Engine fast path: charge fusion, event recycling, O(1) interrupt,
 and the retained reference scheduler."""
 
+import contextlib
+
 import pytest
 
 from repro.sim import (
@@ -255,10 +257,8 @@ def test_double_interrupt_before_delivery_raises():
     env = Environment()
 
     def victim():
-        try:
+        with contextlib.suppress(Interrupt):
             yield env.timeout(100.0)
-        except Interrupt:
-            pass
 
     def attacker(p):
         yield env.timeout(1.0)

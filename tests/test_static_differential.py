@@ -47,9 +47,9 @@ def test_differential_clean_side_runs_zero_simulation():
 def test_forbid_simulation_poison_actually_fires():
     from repro.core.system import ApuSystem
 
-    with _forbid_simulation():
-        with pytest.raises(AssertionError, match="instantiated ApuSystem"):
-            ApuSystem()
+    with _forbid_simulation(), \
+            pytest.raises(AssertionError, match="instantiated ApuSystem"):
+        ApuSystem()
     # and is restored afterwards
     ApuSystem()
 

@@ -51,6 +51,11 @@ def test_cov_zero_mean_rejected():
         cov([0.0, 0.0])
 
 
+def test_cov_empty_rejected():
+    with pytest.raises(ValueError):
+        cov([])
+
+
 def test_order_of_magnitude_rendering():
     assert order_of_magnitude(0.0) == "O(0)"
     assert order_of_magnitude(3.5e5) == "O(10^5)"
@@ -70,6 +75,30 @@ def test_repetition_stats():
 def test_repetition_stats_empty_rejected():
     with pytest.raises(ValueError):
         RepetitionStats.from_values([])
+
+
+def test_ratio_of_medians_single_element_works():
+    s = RepetitionStats.from_values([6.0])
+    other = RepetitionStats.from_values([2.0])
+    assert s.ratio_of_medians(other) == 3.0
+
+
+def test_ratio_of_medians_empty_sample_rejected():
+    # from_values refuses empties, but a directly-built instance must
+    # still fail with a clear ValueError, not a StatisticsError
+    empty = RepetitionStats(())
+    full = RepetitionStats.from_values([1.0])
+    with pytest.raises(ValueError, match="empty"):
+        empty.ratio_of_medians(full)
+    with pytest.raises(ValueError, match="empty"):
+        full.ratio_of_medians(empty)
+
+
+def test_ratio_of_medians_zero_median_rejected():
+    s = RepetitionStats.from_values([1.0, 2.0])
+    zero = RepetitionStats.from_values([-1.0, 0.0, 1.0])
+    with pytest.raises(ValueError, match="zero-median"):
+        s.ratio_of_medians(zero)
 
 
 # ---------------------------------------------------------------------------
