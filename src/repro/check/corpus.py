@@ -38,6 +38,9 @@ __all__ = [
     "UseAfterUnmapWorkload",
     "MapRaceWorkload",
     "HostWriteRaceWorkload",
+    "NowaitResultRaceWorkload",
+    "ExitExitRaceWorkload",
+    "CrossThreadHostWriteWorkload",
     "MapChurnWorkload",
     "RedundantMapWorkload",
     "FaultStormWorkload",
@@ -316,6 +319,108 @@ class HostWriteRaceWorkload(Workload):
         return body
 
 
+class NowaitResultRaceWorkload(Workload):
+    """Publishes an output read from a buffer a nowait kernel is still
+    writing — the wait on the completion handle is missing entirely, so
+    the result is whatever the race produces (MC-S22; the leaked deferred
+    exit also shows up dynamically as MC-S02)."""
+
+    name = "faulty-nowait-result"
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        outputs = self.outputs
+
+        def body(th, tid):
+            buf = yield from th.alloc("async_out", MIB, payload=np.zeros(8))
+            yield from th.target_enter_data([MapClause(buf, MapKind.TO)])
+            yield from th.target(
+                "producer", 2000.0,
+                maps=[MapClause(buf, MapKind.FROM)],
+                fn=lambda a, g: a["async_out"].__iadd__(7.0),
+                nowait=True,
+            )
+            # missing: yield from th.wait(handle)
+            outputs.put("result", buf.payload.copy())
+
+        return body
+
+
+class ExitExitRaceWorkload(Workload):
+    """Two threads release the same double-mapped buffer at the same
+    simulated instant: which exit removes the entry depends on lock
+    arrival order (dynamic MC-R01, static MC-S21)."""
+
+    name = "faulty-exit-exit-race"
+    n_threads = 2
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        shared = {}
+
+        def body(th, tid):
+            env = th.env
+            if tid == 0:
+                buf = yield from th.alloc("torndown", MIB, payload=np.ones(8))
+                yield from th.target_enter_data([MapClause(buf, MapKind.TO)])
+                yield from th.target_enter_data([MapClause(buf, MapKind.TO)])
+                shared["buf"] = buf
+                shared["go"] = env.now + 500.0
+            while "go" not in shared:
+                yield env.timeout(10.0)
+            delay = shared["go"] - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            yield from th.target_exit_data(
+                [MapClause(shared["buf"], MapKind.RELEASE)]
+            )
+
+        return body
+
+
+class CrossThreadHostWriteWorkload(Workload):
+    """Thread 1 writes a buffer while thread 0's kernel reading it is
+    in flight; the writer never waits on (or even sees) the kernel's
+    completion (dynamic MC-R02, static cross-thread MC-S20)."""
+
+    name = "faulty-cross-thread-host-write"
+    n_threads = 2
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        outputs = self.outputs
+        shared = {}
+
+        def body(th, tid):
+            env = th.env
+            if tid == 0:
+                buf = yield from th.alloc("hotbuf", MIB, payload=np.ones(8))
+                yield from th.target_enter_data([MapClause(buf, MapKind.TO)])
+                shared["buf"] = buf
+                yield from th.target(
+                    "crunch", 3000.0,
+                    maps=[MapClause(buf, MapKind.ALLOC)],
+                    fn=lambda a, g: None,
+                )
+                yield from th.target_exit_data(
+                    [MapClause(buf, MapKind.DELETE)]
+                )
+                outputs.put("done", 1.0)
+            else:
+                while "buf" not in shared:
+                    yield env.timeout(25.0)
+                yield env.timeout(500.0)
+                th.host_write(shared["buf"], np.full(8, 3.0))
+
+        return body
+
+
 # ---------------------------------------------------------------------------
 # perf-lint corpus: dynamically *clean* workloads whose mapping pattern
 # is expensive under specific configurations (one MC-W rule each)
@@ -478,6 +583,9 @@ CORPUS: Dict[str, Callable[[], Workload]] = {
     "use-after-unmap": UseAfterUnmapWorkload,
     "map-race": MapRaceWorkload,
     "host-write-race": HostWriteRaceWorkload,
+    "nowait-result": NowaitResultRaceWorkload,
+    "exit-exit-race": ExitExitRaceWorkload,
+    "cross-thread-host-write": CrossThreadHostWriteWorkload,
 }
 
 #: short name -> dynamically-clean perf-pattern workload class; kept

@@ -71,6 +71,9 @@ class MapOpEvent:
     payload_hash: int            #: host payload at the time of the op
     sync_device: bool            #: op moved host data to the device image
     sync_host: bool              #: op moved device data back to the host
+    #: recording-order sequence number: the tie-breaker that keeps
+    #: analyses deterministic when two ops share a start time
+    seq: int = 0
 
 
 @dataclass
@@ -176,6 +179,7 @@ class CheckRecorder:
             refcount=refcount, removed=removed,
             payload_hash=payload_hash(buf.payload),
             sync_device=sync_device, sync_host=sync_host,
+            seq=len(self.map_ops),
         ))
 
     def note_table(self, op: str, buffer: Optional[HostBuffer],

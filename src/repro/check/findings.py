@@ -113,6 +113,24 @@ _ALL_RULES = (
          "a kernel raw-pointer touch is covered by no live map entry, "
          "target map clause, or declare-target global on any path to the "
          "dispatch", family="missing-map"),
+    # -- MapRace: static may-happen-in-parallel race analysis
+    # (repro.check.static.race)
+    Rule("MC-S20", "static-host-write-kernel-read-race", Analysis.STATIC,
+         Severity.ERROR,
+         "a host write may happen in parallel with a kernel reading the "
+         "same buffer (no wait edge orders them): benign under Copy's "
+         "shadow isolation, a data race under every zero-copy "
+         "configuration", family="host-write-race"),
+    Rule("MC-S21", "static-concurrent-map-race", Analysis.STATIC,
+         Severity.WARNING,
+         "two threads' map constructs on the same buffer, at least one an "
+         "exit, may happen in parallel: refcounts and transfers depend on "
+         "lock arrival order", family="map-race"),
+    Rule("MC-S22", "unsynchronized-nowait-result-read", Analysis.STATIC,
+         Severity.ERROR,
+         "an application output reads a buffer a nowait target region may "
+         "still be writing — no wait on its completion handle orders the "
+         "read after the kernel", family="nowait-result"),
     # -- MapCost: static cost prediction / perf lint (repro.check.static.cost)
     Rule("MC-W01", "map-churn-in-hot-loop", Analysis.PERF, Severity.WARNING,
          "a map-enter/map-exit pair cycles inside a hot loop: under Eager "

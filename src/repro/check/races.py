@@ -51,9 +51,12 @@ def _conflicting_map_ops(rec: CheckRecorder, workload: str) -> List[Finding]:
     findings = []
     seen = set()
     # time-sorted sweep: only spans overlapping in time can conflict, so
-    # compare each op against the still-active window, not all pairs
+    # compare each op against the still-active window, not all pairs.
+    # Ops sharing a t0 (common: a race is two ops at the same instant)
+    # tie-break on the recording sequence number, so finding order and
+    # pair dedup are identical across runs and --jobs workers
     active: List = []
-    for a in sorted(ops, key=lambda op: op.t0):
+    for a in sorted(ops, key=lambda op: (op.t0, op.seq)):
         active = [b for b in active if b.t1 > a.t0]
         for b in active:
             if a.tid is None or b.tid is None or a.tid == b.tid:
@@ -97,7 +100,10 @@ def _host_write_vs_kernel(rec: CheckRecorder, workload: str) -> List[Finding]:
     ``(submit_us, end_us)`` is unsynchronized by construction.
     """
     findings = []
-    seen = set()
+    # one finding per (buffer, writer-tid, kernel); loop iterations that
+    # repeat the same race fold into the first finding's `related` (the
+    # MC-P01 repeat-offender treatment), so a churn loop reports once
+    first = {}
     for w in rec.host_writes:
         wbuf = rec.buffers.get(w.key)
         if wbuf is None:
@@ -109,11 +115,14 @@ def _host_write_vs_kernel(rec: CheckRecorder, workload: str) -> List[Finding]:
                 kbuf = rec.buffers.get(key)
                 if kbuf is None or not kbuf.range.overlaps(wbuf.range):
                     continue
-                dedup = (w.key, k.name)
-                if dedup in seen:
-                    continue
-                seen.add(dedup)
-                findings.append(Finding(
+                dedup = (w.key, w.tid, k.name)
+                prior = first.get(dedup)
+                if prior is not None:
+                    ref = f"repeat at t={w.t:.1f}us (kid {k.kid})"
+                    if ref not in prior.related:
+                        prior.related += (ref,)
+                    break
+                finding = Finding(
                     rule_id="MC-R02",
                     buffer=w.name,
                     workload=workload,
@@ -129,7 +138,9 @@ def _host_write_vs_kernel(rec: CheckRecorder, workload: str) -> List[Finding]:
                     ),
                     breaks_under=_ZERO_COPY,
                     passes_under=(RuntimeConfig.COPY,),
-                ))
+                )
+                first[dedup] = finding
+                findings.append(finding)
                 break
     return findings
 

@@ -127,6 +127,11 @@ CANONICAL_MATRICES: Dict[
     "MC-S11": (_ALL, ()),
     "MC-S12": ((_COPY,), (_USM, _IZC, _EAGER)),
     "MC-P10": ((_COPY, _EAGER), (_USM, _IZC)),
+    # MapRace static race rules: matrices derived from ConfigSemantics
+    # (race/rules.py) — MC-S20 mirrors MC-R02's shadow-isolation argument
+    "MC-S20": ((_USM, _IZC, _EAGER), (_COPY,)),
+    "MC-S21": (_ALL, ()),
+    "MC-S22": (_ALL, ()),
     # MapCost perf-lint: "breaks" = pays the predicted overhead there
     "MC-W01": ((_EAGER,), (_COPY, _USM, _IZC)),
     "MC-W02": ((_COPY,), (_USM, _IZC, _EAGER)),

@@ -24,6 +24,7 @@ from __future__ import annotations
 from .differential import static_dynamic_differential
 from .extract import ExtractionError, extract_workload
 from .interp import analyze_ir
+from .race import race_differential, race_findings, race_report
 from .rules import analyze_factory, analyze_named, static_report
 
 __all__ = [
@@ -34,4 +35,7 @@ __all__ = [
     "analyze_named",
     "static_report",
     "static_dynamic_differential",
+    "race_differential",
+    "race_findings",
+    "race_report",
 ]

@@ -1,0 +1,141 @@
+"""Data model of the MapRace analysis: phase intervals, buffer
+accesses and kernel flights.
+
+The happens-before abstraction is deliberately coarse and only ever
+*suppresses* may-happen-in-parallel pairs:
+
+* **phase interval** — how many :class:`~..ir.GlobalSyncOp` barriers a
+  thread has passed when an access executes, as an integer interval
+  ``[lo, hi]`` (``hi is None`` = unbounded, e.g. a barrier inside an
+  unbounded loop).  The k-th barrier of every thread is modeled as one
+  aligned phase boundary, so two accesses in different threads can only
+  happen in parallel when their phase intervals overlap.
+* **wait edges** — the set of nowait handles a thread has *definitely*
+  waited on before an access (a must-set: intersection at joins).  A
+  cross-thread access ordered after a kernel's completion wait can
+  never race with that kernel's flight.
+* **in-flight handles** — the set of nowait handles *possibly* still in
+  flight (a may-set: union at joins), mirroring the abstract
+  interpreter's in-flight tracking.  Same-thread race rules (a host
+  write or output read overtaking this thread's own nowait region)
+  consult this set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..ir import AbstractBuffer, BufRef
+
+__all__ = [
+    "PhaseInterval",
+    "Access",
+    "KernelFlight",
+    "ThreadAccesses",
+    "may_overlap",
+]
+
+
+@dataclass(frozen=True)
+class PhaseInterval:
+    """Barrier-phase interval ``[lo, hi]``; ``hi is None`` = unbounded."""
+
+    lo: int = 0
+    hi: Optional[int] = 0
+
+    def bump(self) -> "PhaseInterval":
+        """Passed one more :class:`GlobalSyncOp` barrier."""
+        return PhaseInterval(
+            self.lo + 1, None if self.hi is None else self.hi + 1
+        )
+
+    def widen(self) -> "PhaseInterval":
+        return PhaseInterval(self.lo, None)
+
+    def join(self, other: "PhaseInterval") -> "PhaseInterval":
+        hi = (None if self.hi is None or other.hi is None
+              else max(self.hi, other.hi))
+        return PhaseInterval(min(self.lo, other.lo), hi)
+
+    def overlaps(self, other: "PhaseInterval") -> bool:
+        """Two accesses can coincide iff their phase intervals overlap."""
+        if self.hi is not None and other.lo > self.hi:
+            return False
+        if other.hi is not None and self.lo > other.hi:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        hi = "inf" if self.hi is None else self.hi
+        return f"[{self.lo},{hi}]"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One mapping-relevant buffer access of one thread."""
+
+    kind: str                     #: "host_write" | "map_enter" | "map_exit" | "output_read"
+    ref: BufRef                   #: the operand (strong refs only are reported)
+    tid: int
+    lineno: int
+    op_id: int
+    phase: PhaseInterval
+    #: nowait handles possibly in flight in this thread at this access
+    inflight: FrozenSet[int] = frozenset()
+    #: nowait handles this thread definitely waited on before this access
+    completed: FrozenSet[int] = frozenset()
+    context: str = ""             #: e.g. the output key
+
+    @property
+    def site(self) -> AbstractBuffer:
+        return self.ref.only
+
+
+@dataclass(frozen=True)
+class KernelFlight:
+    """The static flight window of one target region.
+
+    A synchronous region's flight is contained at the dispatch op
+    (``handle_id is None``, ``span == launch``); a ``nowait`` region's
+    flight spans from the dispatch to the matching wait — or to the end
+    of the thread when no wait ever names its handle.
+    """
+
+    kernel: str
+    tid: int
+    lineno: int
+    op_id: int
+    launch: PhaseInterval
+    span: PhaseInterval           #: launch joined with the completion phase
+    reads: Tuple[BufRef, ...]     #: map-clause operands + raw-pointer touches
+    writes: Tuple[BufRef, ...]    #: copy-back clauses + raw-pointer touches
+    handle_id: Optional[int] = None
+    nowait: bool = False
+
+
+@dataclass
+class ThreadAccesses:
+    """Everything MapRace collected from one thread's CFG."""
+
+    tid: int
+    accesses: List[Access] = field(default_factory=list)
+    flights: List[KernelFlight] = field(default_factory=list)
+    #: number of dataflow states processed (diagnostics)
+    states_explored: int = 0
+
+
+def may_overlap(a: BufRef, b: BufRef) -> bool:
+    """Byte-range overlap of two refs to the *same* allocation site.
+
+    Distinct sites never alias (each is its own allocation), so callers
+    pair refs by site first; this confirms via the symbolic
+    ``nbytes_bounds`` interval that both operands may cover at least one
+    byte of the shared allocation (ranges start at the allocation base,
+    so any two non-empty prefixes intersect).
+    """
+    for ref in (a, b):
+        _lo, hi = ref.nbytes_bounds()
+        if hi is not None and hi < 1:
+            return False
+    return True

@@ -216,11 +216,22 @@ def static_report(workload: Workload, name: str = "") -> CheckReport:
         return report
     result = analyze_ir(ir)
     report.findings = _findings_from(result, wname)
+    # MapRace rides the same extraction: MHP race findings (MC-S20/21/22)
+    # join the dataflow findings so `check --static`, the differentials,
+    # SARIF and CI all see one static report (local import: race.rules
+    # imports ConfigSemantics from this module)
+    from .race.rules import race_findings
+
+    race = race_findings(ir)
+    for f in race:
+        f.workload = wname
+    report.findings.extend(race)
     report.stats = {
         "static_threads": len(ir.threads),
         "static_ops": _count_ops(ir),
         "static_states": result.states_explored,
         "static_imprecision": len(ir.imprecision),
+        "static_race_findings": len(race),
     }
     return report
 

@@ -210,6 +210,17 @@ def cmd_check(args) -> str:
         print(f"wrote {args.perf_json}", file=sys.stderr)
         if not all(c.ok for c in cells):
             args.exit_code = 1
+    if args.race_json:
+        from .check.static.race import race_differential
+
+        result = race_differential(fidelity=fidelity)
+        with open(args.race_json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.race_json}", file=sys.stderr)
+        print(result.render(), file=sys.stderr)
+        if not result.ok:
+            args.exit_code = 1
     if args.sarif:
         from .check.sarif import write_sarif
 
@@ -292,6 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
         "differential (predicted HSA call counts, map ops, copy bytes, "
         "fault pages per configuration) as JSON; exits 1 on any "
         "prediction mismatch",
+    )
+    parser.add_argument(
+        "--race-json", default=None, metavar="FILE",
+        help="for 'check': run the MapRace static-vs-dynamic race "
+        "differential (every dynamic MC-R finding on the faulty corpus "
+        "must have a static MC-S20/S21/S22 match; zero static race "
+        "findings on every clean workload under all four "
+        "configurations) and write it as JSON; exits 1 on any "
+        "unmatched race or false-positive cell",
     )
     parser.add_argument(
         "--no-sim", action="store_true",

@@ -37,6 +37,7 @@ def test_rule_ids_are_stable():
         "MC-S01", "MC-S02", "MC-S03", "MC-S04", "MC-S05",
         "MC-R01", "MC-R02",
         "MC-S10", "MC-S11", "MC-S12", "MC-P10",
+        "MC-S20", "MC-S21", "MC-S22",
         "MC-W01", "MC-W02", "MC-W03", "MC-W04", "MC-W05",
     }
 
@@ -51,7 +52,8 @@ def test_rules_partition_across_the_four_analyses():
     ]
     assert by_analysis[Analysis.RACES] == ["MC-R01", "MC-R02"]
     assert by_analysis[Analysis.STATIC] == [
-        "MC-S10", "MC-S11", "MC-S12", "MC-P10"
+        "MC-S10", "MC-S11", "MC-S12", "MC-P10",
+        "MC-S20", "MC-S21", "MC-S22",
     ]
     assert by_analysis[Analysis.PERF] == [
         "MC-W01", "MC-W02", "MC-W03", "MC-W04", "MC-W05"

@@ -38,6 +38,9 @@ _SNAPSHOT = {
     "MC-S11": (Analysis.STATIC, Severity.ERROR, "inflight-unmap"),
     "MC-S12": (Analysis.STATIC, Severity.WARNING, "leak"),
     "MC-P10": (Analysis.STATIC, Severity.ERROR, "missing-map"),
+    "MC-S20": (Analysis.STATIC, Severity.ERROR, "host-write-race"),
+    "MC-S21": (Analysis.STATIC, Severity.WARNING, "map-race"),
+    "MC-S22": (Analysis.STATIC, Severity.ERROR, "nowait-result"),
     "MC-W01": (Analysis.PERF, Severity.WARNING, "perf-map-churn"),
     "MC-W02": (Analysis.PERF, Severity.WARNING, "perf-redundant-map"),
     "MC-W03": (Analysis.PERF, Severity.WARNING, "perf-fault-storm"),
@@ -62,6 +65,9 @@ _MATRICES = {
     "MC-S11": (ALL, ()),
     "MC-S12": ((COPY,), (USM, IZC, EAGER)),
     "MC-P10": ((COPY, EAGER), (USM, IZC)),
+    "MC-S20": ((USM, IZC, EAGER), (COPY,)),
+    "MC-S21": (ALL, ()),
+    "MC-S22": (ALL, ()),
     "MC-W01": ((EAGER,), (COPY, USM, IZC)),
     "MC-W02": ((COPY,), (USM, IZC, EAGER)),
     "MC-W03": ((USM, IZC), (COPY, EAGER)),
@@ -122,8 +128,26 @@ def test_perf_rule_matrices_derive_from_config_semantics():
         assert perf_matrix(rid) == CANONICAL_MATRICES[rid], rid
 
 
+def test_race_rule_matrices_derive_from_config_semantics():
+    """MC-S20..S22 matrices likewise must be derived from the
+    ConfigSemantics predicates (Copy's shadow isolation makes MC-S20
+    benign there, exactly MC-R02's dynamic matrix), never hand-copied."""
+    from repro.check.static.race import RACE_RULE_IDS, race_matrix
+
+    assert set(RACE_RULE_IDS) == {"MC-S20", "MC-S21", "MC-S22"}
+    for rid in RACE_RULE_IDS:
+        assert race_matrix(rid) == CANONICAL_MATRICES[rid], rid
+    # MC-S20 must agree with its dynamic twin's matrix bit-for-bit
+    assert race_matrix("MC-S20") == CANONICAL_MATRICES["MC-R02"]
+    assert race_matrix("MC-S21") == CANONICAL_MATRICES["MC-R01"]
+
+
 def test_families_group_static_with_dynamic():
     assert RULE_FAMILIES["refcount"] == ("MC-S01", "MC-S03", "MC-S10")
     assert RULE_FAMILIES["leak"] == ("MC-S02", "MC-S12")
     assert RULE_FAMILIES["inflight-unmap"] == ("MC-S04", "MC-S11")
     assert RULE_FAMILIES["missing-map"] == ("MC-P01", "MC-P10")
+    # MapRace pairs the dynamic race detector with its static twins
+    assert RULE_FAMILIES["map-race"] == ("MC-R01", "MC-S21")
+    assert RULE_FAMILIES["host-write-race"] == ("MC-R02", "MC-S20")
+    assert RULE_FAMILIES["nowait-result"] == ("MC-S22",)

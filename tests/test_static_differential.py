@@ -29,10 +29,15 @@ def test_full_differential_passes():
     # every in-scope dynamic rule family actually appears: the corpus
     # exercises refcount, leak, inflight-unmap and missing-map
     families = {r.family for r in result.records}
-    assert families == {"refcount", "leak", "inflight-unmap", "missing-map"}
+    assert families == {
+        "refcount", "leak", "inflight-unmap", "missing-map",
+        # MapRace pulled the dynamic race detector into static scope:
+        # MC-R01/MC-R02 findings now have MC-S21/MC-S20 counterparts
+        "map-race", "host-write-race",
+    }
     # and each record names the static rule that answered it
     assert {r.static_rule for r in result.records} == {
-        "MC-S10", "MC-S12", "MC-S11", "MC-P10"
+        "MC-S10", "MC-S12", "MC-S11", "MC-P10", "MC-S21", "MC-S20"
     }
 
 
@@ -61,18 +66,27 @@ def test_static_analysis_works_under_the_poison():
 
 
 def test_every_static_rule_has_a_dynamic_counterpart_and_vice_versa():
-    for static_rule in ("MC-S10", "MC-S11", "MC-S12", "MC-P10"):
+    for static_rule in ("MC-S10", "MC-S11", "MC-S12", "MC-P10",
+                        "MC-S20", "MC-S21"):
         assert dynamic_counterparts(static_rule), static_rule
+    # the race families are now *in* scope: the dynamic detectors have
+    # static twins, so the differential demands a static match for them
+    assert static_counterparts("MC-R01") == ("MC-S21",)
+    assert static_counterparts("MC-R02") == ("MC-S20",)
+    # MC-S22 is static-only: no dynamic rule observes the missing wait
+    # (the dynamic side sees it as a leak/teardown symptom instead)
+    assert dynamic_counterparts("MC-S22") == ()
+    assert static_counterparts("MC-S22") == ()
     # families wholly out of static scope stay out
-    for family in ("map-race", "host-write-race", "stale-global",
-                   "missing-from", "config-divergence", "always-misuse"):
+    for family in ("stale-global", "missing-from", "config-divergence",
+                   "always-misuse"):
         for rid in RULE_FAMILIES[family]:
             assert static_counterparts(rid) == ()
 
 
 def test_corpus_is_complete_and_importable():
     # one entry per canonical defect; all constructible with no args
-    assert len(CORPUS) == 10
+    assert len(CORPUS) == 13
     for name, cls in CORPUS.items():
         w = cls()
         assert w.name.startswith("faulty-"), name
