@@ -3,6 +3,7 @@
 ::
 
     python -m repro fig3   [--sizes 2,8,32] [--threads 1,2,4,8] [--quick] [--jobs N] [--cache]
+                           [--engine fast|reference|macro]
     python -m repro fig4
     python -m repro table1 [--quick]
     python -m repro table2 [--reps 4] [--jobs N]
@@ -13,6 +14,8 @@
                           [--perf-json FILE] [--baseline FILE]
                           [--write-baseline FILE] [--jobs N]
     python -m repro bench  [--quick] [--jobs N] [--bench-json BENCH.json]
+                           [--only scheduler|pagetable|meso|macro]
+                           [--bench-history DIR]
 
 ``check`` runs the MapCheck sanitizer/lint over a bundled workload (or
 all of them) and exits 1 if any finding survives — suitable for CI.
@@ -33,10 +36,12 @@ to ``--jobs 1``.  ``--cache`` additionally serves unchanged cells from a
 content-addressed on-disk store (``--cache-dir``), so a warm rerun of
 fig3/fig4/table2 performs zero simulations; any input change (workload
 parameters, cost model, engine version) changes the digest and re-runs
-the cell.  ``bench`` times scheduler/pagetable micro-ops, a QMCPack run
-and a full ratio experiment, runs the fused-vs-reference engine
-differential, writes ``BENCH.json``, and exits 1 if any run-equivalence
-invariant (never a timing) regresses.
+the cell.  ``bench`` times scheduler/pagetable micro-ops, a QMCPack run,
+a full ratio experiment and the steady-state macro engine, runs the
+fused-vs-reference and macro-vs-fused differentials, writes
+``BENCH.json`` plus a timestamped history copy, and exits 1 if any
+run-equivalence invariant (never a timing) regresses.  ``--only TIER``
+restricts the run to one tier.
 """
 
 from __future__ import annotations
@@ -88,6 +93,7 @@ def _fig_grid(args, threads):
         progress=_progress,
         jobs=args.jobs,
         cache=_cell_cache(args),
+        engine=args.engine,
     )
 
 
@@ -112,6 +118,7 @@ def cmd_table2(args) -> str:
         progress=_progress,
         jobs=args.jobs,
         cache=_cell_cache(args),
+        engine=args.engine,
     )
     return render_table2(result)
 
@@ -243,6 +250,8 @@ def cmd_bench(args) -> str:
         quick=args.quick,
         jobs=args.jobs if args.jobs and args.jobs > 1 else 4,
         progress=_progress,
+        only=args.only,
+        history_dir=args.bench_history,
     )
     print(f"wrote {args.bench_json}", file=sys.stderr)
     args.exit_code = 0 if report.ok else 1
@@ -360,8 +369,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="cell-cache directory (default: .repro-cache)",
     )
     parser.add_argument(
+        "--engine", default="fast",
+        choices=("fast", "reference", "macro"),
+        help="simulation engine for fig3/fig4/table2 cells: the fused "
+        "fast path (default), the retained reference scheduler, or the "
+        "steady-state macro-execution engine — all three produce "
+        "bit-identical numbers (gated by 'bench'); only wall clock "
+        "differs",
+    )
+    parser.add_argument(
         "--bench-json", default="BENCH.json",
         help="for 'bench': where to write the JSON results",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="TIER",
+        choices=("scheduler", "pagetable", "meso", "macro"),
+        help="for 'bench': run a single tier (scheduler|pagetable|meso|"
+        "macro) instead of all of them",
+    )
+    parser.add_argument(
+        "--bench-history", default="benchmarks/history", metavar="DIR",
+        help="for 'bench': directory receiving a timestamped copy of "
+        "every report (empty string disables the history write)",
     )
     parser.add_argument(
         "--quick", action="store_true",

@@ -18,22 +18,28 @@ from ..hsa.api import HsaRuntime
 from ..memory.os_alloc import OsAllocator
 from ..memory.pagetable import PageTable
 from ..memory.physical import PhysicalMemory
-from ..sim import Environment, Jitter, ReferenceEnvironment, RngHub
+from ..sim import Environment, Jitter, MacroEnvironment, ReferenceEnvironment, RngHub
 from ..trace.hsa_trace import HsaTrace
 from .params import CostModel
 
 __all__ = ["ApuSystem"]
 
-_ENGINES = {"fast": Environment, "reference": ReferenceEnvironment}
+_ENGINES = {
+    "fast": Environment,
+    "reference": ReferenceEnvironment,
+    "macro": MacroEnvironment,
+}
 
 
 class ApuSystem:
     """A fully wired single-socket APU simulation.
 
     ``engine`` selects the simulation scheduler: ``"fast"`` (default —
-    charge fusion, event recycling, inlined stepping) or ``"reference"``
-    (the retained one-heap-event-per-delay scheduler).  Both produce
-    bit-identical simulated-time results; the bench differential gates it.
+    charge fusion, event recycling, inlined stepping), ``"reference"``
+    (the retained one-heap-event-per-delay scheduler) or ``"macro"``
+    (MapWarp: the fused scheduler plus steady-state segment replay, see
+    ``repro.sim.macro``).  All engines produce bit-identical
+    simulated-time results; the bench differentials gate it.
     """
 
     def __init__(

@@ -1,7 +1,10 @@
 """``python -m repro bench`` — micro/meso benchmark harness.
 
-Five tiers, each emitting ``{name, wall_s, sim_events, events_per_s}``
-entries into ``BENCH.json`` (schema ``repro-bench-v2``):
+Six tiers, each emitting ``{name, wall_s, sim_events, events_per_s,
+engine}`` entries into ``BENCH.json`` (schema ``repro-bench-v3``;
+``--only scheduler|pagetable|meso|macro`` restricts the run, and every
+invocation also appends a timestamped copy of the report under
+``benchmarks/history/``):
 
 * **scheduler micro** — a host-thread call-chain workout (fused
   ``env.charge`` chains punctuated by real timeouts) run on the fast
@@ -19,7 +22,11 @@ entries into ``BENCH.json`` (schema ``repro-bench-v2``):
 * **experiment** — a full ``ratio_experiment`` serial vs. ``--jobs N``,
   which doubles as the parallel-equivalence check;
 * **cell cache** — a small Fig. 3 grid collected cold then warm through
-  a fresh :class:`~repro.experiments.cache.CellCache`.
+  a fresh :class:`~repro.experiments.cache.CellCache`;
+* **macro** — the steady-state macro engine (``engine="macro"``,
+  ``ENGINE_VERSION 3``) vs. the fused engine on a single-thread QMCPack
+  run, measured in interleaved rounds so machine-speed drift hits both
+  engines equally.
 
 Wall-clock numbers are hardware-dependent and never gate anything; the
 **run-equivalence invariants** do (CI fails on them):
@@ -34,7 +41,11 @@ Wall-clock numbers are hardware-dependent and never gate anything; the
 * ``jobs=N`` ratio-experiment summaries, ledgers, and event counts
   bit-identical to ``jobs=1``;
 * the warm cache run performs **zero** simulation cells and reproduces
-  the cold run's ratio grid exactly.
+  the cold run's ratio grid exactly;
+* macro engine vs. fused engine: the measured run's full observable
+  tuple (``macro_identical``) plus a randomized three-workload ×
+  four-configuration differential (``macro_differential``), all
+  bit-identical.
 """
 
 from __future__ import annotations
@@ -44,7 +55,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import ZERO_COPY_CONFIGS, RuntimeConfig
 from ..core.params import CostModel
@@ -63,19 +74,33 @@ __all__ = [
     "BenchEntry",
     "BenchReport",
     "run_bench",
+    "write_bench",
     "pagetable_parity",
     "engine_differential",
+    "macro_differential",
+    "BENCH_TIERS",
 ]
+
+#: ``--only`` tier names.  ``meso`` covers the end-to-end simulation
+#: tiers (single QMCPack run, ratio experiment, cell cache); ``macro``
+#: is the steady-state macro-engine tier.
+BENCH_TIERS = ("scheduler", "pagetable", "meso", "macro")
 
 
 @dataclass(frozen=True)
 class BenchEntry:
-    """One benchmark measurement (the BENCH.json entry schema)."""
+    """One benchmark measurement (the BENCH.json entry schema).
+
+    ``engine`` names the simulation engine that produced the entry
+    (``fast`` / ``reference`` / ``macro``), or ``n/a`` for measurements
+    that do not run the event engine at all (pagetable micro-ops).
+    """
 
     name: str
     wall_s: float
     sim_events: int
     events_per_s: float
+    engine: str = "fast"
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -83,6 +108,7 @@ class BenchEntry:
             "wall_s": self.wall_s,
             "sim_events": self.sim_events,
             "events_per_s": self.events_per_s,
+            "engine": self.engine,
         }
 
 
@@ -92,6 +118,10 @@ class BenchReport:
 
     quick: bool
     jobs: int
+    #: tier filter the run was invoked with (None = all tiers)
+    only: Optional[str] = None
+    #: UTC timestamp of the run (ISO-8601, set by :func:`run_bench`)
+    generated_utc: str = ""
     entries: List[BenchEntry] = field(default_factory=list)
     #: derived ratios (e.g. flat/runs pagetable wall-clock)
     speedups: Dict[str, float] = field(default_factory=dict)
@@ -104,9 +134,11 @@ class BenchReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
-            "schema": "repro-bench-v2",
+            "schema": "repro-bench-v3",
             "quick": self.quick,
             "jobs": self.jobs,
+            "only": self.only,
+            "generated_utc": self.generated_utc,
             "entries": [e.to_dict() for e in self.entries],
             "speedups": self.speedups,
             "equivalence": self.equivalence,
@@ -121,12 +153,13 @@ class BenchReport:
         lines = [
             f"repro bench ({'quick' if self.quick else 'full'}, jobs={self.jobs})",
             "",
-            f"  {'benchmark':<34} {'wall_s':>9} {'events':>10} {'events/s':>12}",
+            f"  {'benchmark':<34} {'engine':>9} {'wall_s':>9} "
+            f"{'events':>10} {'events/s':>12}",
         ]
         for e in self.entries:
             lines.append(
-                f"  {e.name:<34} {e.wall_s:>9.4f} {e.sim_events:>10d} "
-                f"{e.events_per_s:>12.0f}"
+                f"  {e.name:<34} {e.engine:>9} {e.wall_s:>9.4f} "
+                f"{e.sim_events:>10d} {e.events_per_s:>12.0f}"
             )
         lines.append("")
         for name, ratio in self.speedups.items():
@@ -186,6 +219,7 @@ def _bench_scheduler(
                 wall_s=wall,
                 sim_events=events,
                 events_per_s=events / wall if wall > 0 else 0.0,
+                engine="fast" if label == "fused" else "reference",
             )
         )
     speedup = (
@@ -208,8 +242,6 @@ def engine_differential(seed: int = 11, quick: bool = False) -> bool:
     call rows, engine event counts, HBM high-water mark, and the
     functional kernel outputs.
     """
-    import numpy as np
-
     rnd = random.Random(seed)
     fidelity = Fidelity.TEST
     cases = [
@@ -232,21 +264,145 @@ def engine_differential(seed: int = 11, quick: bool = False) -> bool:
             run = execute(
                 workload, config, seed=case_seed, noise=True, engine=eng
             )
-            sides[eng] = (
-                run.elapsed_us,
-                run.init_us,
-                run.steady_us,
-                run.sim_events,
-                run.peak_hbm_bytes,
-                dict(run.marks),
-                run.ledger.summary(),
-                run.hsa_trace.as_rows(),
-                {k: np.asarray(v).tobytes()
-                 for k, v in sorted(workload.outputs.values.items())},
-            )
+            sides[eng] = _run_observables(run, workload)
         if sides["fast"] != sides["reference"]:
             return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# macro tier (steady-state macro engine vs. fused engine)
+# ---------------------------------------------------------------------------
+
+
+def _run_observables(run, workload) -> Tuple:
+    """Every simulated-time observable of one run (for differentials)."""
+    import numpy as np
+
+    return (
+        run.elapsed_us,
+        run.init_us,
+        run.steady_us,
+        run.sim_events,
+        run.peak_hbm_bytes,
+        dict(run.marks),
+        run.ledger.summary(),
+        run.hsa_trace.as_rows(),
+        {k: np.asarray(v).tobytes()
+         for k, v in sorted(workload.outputs.values.items())},
+    )
+
+
+def macro_differential(seed: int = 13, quick: bool = False) -> bool:
+    """Randomized differential: macro engine vs. the fused fast path.
+
+    QMCPack NiO, 403.stencil and 404.lbm under **all four** runtime
+    configurations with several randomized seeds each (noise randomized
+    too — noisy runs exercise the macro engine's eligibility fallback,
+    noiseless runs its replay path).  Every observable must be
+    bit-identical: clocks, phase marks, ledger telemetry, HSA call rows,
+    event counts, HBM high-water mark and functional kernel outputs.
+    """
+    from ..workloads.specaccel import Lbm404
+
+    rnd = random.Random(seed)
+    fidelity = Fidelity.TEST
+    factories = [
+        partial(QmcPackNio, size=2, n_threads=1, fidelity=fidelity),
+        partial(Stencil403, fidelity=fidelity),
+        partial(Lbm404, fidelity=fidelity),
+    ]
+    n_seeds = 1 if quick else 3
+    for factory in factories:
+        for config in RuntimeConfig:
+            for i in range(n_seeds):
+                case_seed = rnd.randrange(1 << 30)
+                # first seed per case always runs noiseless (replay
+                # engaged); later seeds flip a coin
+                noise = bool(rnd.getrandbits(1)) if i else False
+                sides = {}
+                for eng in ("fast", "macro"):
+                    workload = factory()
+                    run = execute(
+                        workload, config, seed=case_seed, noise=noise,
+                        engine=eng,
+                    )
+                    sides[eng] = _run_observables(run, workload)
+                if sides["fast"] != sides["macro"]:
+                    return False
+    return True
+
+
+def _bench_macro(
+    quick: bool,
+) -> Tuple[List[BenchEntry], Dict[str, float], Dict[str, bool]]:
+    """Steady-state macro engine vs. the fused engine, interleaved.
+
+    One single-thread QMCPack NiO run per engine per round (the macro
+    engine's replayable shape: multi-thread runs keep the event queue
+    non-empty and fall back wholesale).  Rounds alternate fused/macro so
+    machine-speed drift hits both engines equally; the recorded speedup
+    is the best paired-round ratio (the least noise-contaminated
+    estimate of the code-speed ratio) with the median alongside.
+    """
+    size = 8 if quick else 32
+    fidelity = Fidelity.TEST if quick else Fidelity.BENCH
+    rounds = 2 if quick else 5
+    config = RuntimeConfig.IMPLICIT_ZERO_COPY
+
+    def one(engine):
+        wl = QmcPackNio(size=size, n_threads=1, fidelity=fidelity)
+        t0 = time.perf_counter()
+        run = execute(wl, config, seed=0, engine=engine)
+        return time.perf_counter() - t0, run, wl
+
+    # warm-up pair (module imports, declared-period memo) — not timed
+    one("fast")
+    one("macro")
+    best = {"fast": float("inf"), "macro": float("inf")}
+    ratios = []
+    sides = {}
+    events = 0
+    for _ in range(rounds):
+        wf, rf, wlf = one("fast")
+        wm, rm, wlm = one("macro")
+        events = rf.sim_events
+        best["fast"] = min(best["fast"], wf)
+        best["macro"] = min(best["macro"], wm)
+        if wf > 0 and wm > 0:
+            ratios.append(wf / wm)  # same sim_events on both sides
+        sides = {
+            "fast": _run_observables(rf, wlf),
+            "macro": _run_observables(rm, wlm),
+        }
+    entries = [
+        BenchEntry(
+            name=f"qmcpack_s{size}_t1_izc_fused",
+            wall_s=best["fast"],
+            sim_events=events,
+            events_per_s=events / best["fast"] if best["fast"] > 0 else 0.0,
+            engine="fast",
+        ),
+        BenchEntry(
+            name=f"qmcpack_s{size}_t1_izc_macro",
+            wall_s=best["macro"],
+            sim_events=events,
+            events_per_s=events / best["macro"] if best["macro"] > 0 else 0.0,
+            engine="macro",
+        ),
+    ]
+    ratios.sort()
+    speedups = {
+        "macro_vs_fused": ratios[-1] if ratios else 0.0,
+        "macro_vs_fused_median": (
+            ratios[len(ratios) // 2] if ratios else 0.0
+        ),
+    }
+    equivalence = {
+        "macro_identical": sides.get("fast") == sides.get("macro"),
+        "macro_differential": macro_differential(quick=quick),
+    }
+    return entries, speedups, equivalence
 
 
 # ---------------------------------------------------------------------------
@@ -368,6 +524,7 @@ def _bench_pagetables(
                 wall_s=wall,
                 sim_events=ops,
                 events_per_s=ops / wall if wall > 0 else 0.0,
+                engine="n/a",
             )
         )
     speedup = walls["flat"] / walls["runs"] if walls["runs"] > 0 else 0.0
@@ -459,103 +616,135 @@ def run_bench(
     quick: bool = False,
     jobs: int = 4,
     progress=None,
+    only: Optional[str] = None,
 ) -> BenchReport:
-    """Run every tier; returns the report (``report.ok`` gates CI)."""
-    report = BenchReport(quick=quick, jobs=jobs)
+    """Run the bench tiers; returns the report (``report.ok`` gates CI).
+
+    ``only`` restricts the run to one tier from :data:`BENCH_TIERS`
+    (``meso`` covers the single-run, ratio-experiment and cell-cache
+    tiers); None runs everything.
+    """
+    if only is not None and only not in BENCH_TIERS:
+        raise ValueError(
+            f"unknown bench tier {only!r}; expected one of {BENCH_TIERS}"
+        )
+    report = BenchReport(
+        quick=quick,
+        jobs=jobs,
+        only=only,
+        generated_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    )
 
     def note(msg):
         if progress is not None:
             progress(msg)
 
-    # -- tier 0: scheduler micro (fused vs reference engine) ------------
-    chains, chain_len = (5000, 8) if quick else (20000, 8)
-    note(f"scheduler micro ({chains} chains x {chain_len} charges)")
-    entries, speedups, equivalence = _bench_scheduler(chains, chain_len)
-    report.entries.extend(entries)
-    report.speedups.update(speedups)
-    report.equivalence.update(equivalence)
+    def want(tier):
+        return only is None or only == tier
 
-    note("engine differential (fused vs reference, randomized)")
-    report.equivalence["scheduler_differential"] = engine_differential(
-        quick=quick
-    )
+    # -- tier 0: scheduler micro (fused vs reference engine) ------------
+    if want("scheduler"):
+        chains, chain_len = (5000, 8) if quick else (20000, 8)
+        note(f"scheduler micro ({chains} chains x {chain_len} charges)")
+        entries, speedups, equivalence = _bench_scheduler(chains, chain_len)
+        report.entries.extend(entries)
+        report.speedups.update(speedups)
+        report.equivalence.update(equivalence)
+
+        note("engine differential (fused vs reference, randomized)")
+        report.equivalence["scheduler_differential"] = engine_differential(
+            quick=quick
+        )
 
     # -- tier 1: pagetable micro-ops ------------------------------------
-    n_pages, iters = (256, 30) if quick else (1024, 60)
-    note(f"pagetable micro ({n_pages} pages x {iters} iters)")
-    entries, speedups = _bench_pagetables(n_pages, iters)
-    report.entries.extend(entries)
-    report.speedups.update(speedups)
+    if want("pagetable"):
+        n_pages, iters = (256, 30) if quick else (1024, 60)
+        note(f"pagetable micro ({n_pages} pages x {iters} iters)")
+        entries, speedups = _bench_pagetables(n_pages, iters)
+        report.entries.extend(entries)
+        report.speedups.update(speedups)
 
-    note("pagetable parity (randomized differential)")
-    report.equivalence["pagetable_parity"] = pagetable_parity()
+        note("pagetable parity (randomized differential)")
+        report.equivalence["pagetable_parity"] = pagetable_parity()
 
-    # -- tier 2: one QMCPack run ----------------------------------------
-    size = 8 if quick else 32
-    fidelity = Fidelity.TEST if quick else Fidelity.BENCH
-    note(f"qmcpack S{size} single run")
-    t0 = time.perf_counter()
-    run = execute(
-        QmcPackNio(size=size, n_threads=8, fidelity=fidelity),
-        RuntimeConfig.IMPLICIT_ZERO_COPY,
-    )
-    wall = time.perf_counter() - t0
-    report.entries.append(
-        BenchEntry(
-            name=f"qmcpack_s{size}_izc",
-            wall_s=wall,
-            sim_events=run.sim_events,
-            events_per_s=run.sim_events / wall if wall > 0 else 0.0,
-        )
-    )
-
-    # -- tier 3: full ratio experiment, serial vs parallel ---------------
-    reps = 2 if quick else 4
-    exp_size = 2 if quick else 32
-    exp_fidelity = Fidelity.TEST if quick else Fidelity.BENCH
-    factory = partial(
-        QmcPackNio, size=exp_size, n_threads=4, fidelity=exp_fidelity
-    )
-    configs = [RuntimeConfig.COPY] + list(ZERO_COPY_CONFIGS)
-    results = {}
-    walls = {}
-    for label, n_jobs in (("serial", 1), (f"jobs{jobs}", jobs)):
-        note(f"ratio experiment S{exp_size} x {reps} reps ({label})")
+    if want("meso"):
+        # -- tier 2: one QMCPack run ------------------------------------
+        size = 8 if quick else 32
+        fidelity = Fidelity.TEST if quick else Fidelity.BENCH
+        note(f"qmcpack S{size} single run")
         t0 = time.perf_counter()
-        results[label] = ratio_experiment(
-            factory, configs, reps=reps, jobs=n_jobs
+        run = execute(
+            QmcPackNio(size=size, n_threads=8, fidelity=fidelity),
+            RuntimeConfig.IMPLICIT_ZERO_COPY,
         )
-        walls[label] = time.perf_counter() - t0
+        wall = time.perf_counter() - t0
         report.entries.append(
             BenchEntry(
-                name=f"ratio_qmcpack_s{exp_size}_{label}",
-                wall_s=walls[label],
-                sim_events=results[label].sim_events,
-                events_per_s=(
-                    results[label].sim_events / walls[label]
-                    if walls[label] > 0
-                    else 0.0
-                ),
+                name=f"qmcpack_s{size}_izc",
+                wall_s=wall,
+                sim_events=run.sim_events,
+                events_per_s=run.sim_events / wall if wall > 0 else 0.0,
             )
         )
-    serial, par = results["serial"], results[f"jobs{jobs}"]
-    report.speedups["ratio_parallel_vs_serial"] = (
-        walls["serial"] / walls[f"jobs{jobs}"] if walls[f"jobs{jobs}"] > 0 else 0.0
-    )
-    report.equivalence["parallel_summary_identical"] = (
-        json.dumps(serial.summary(), sort_keys=True)
-        == json.dumps(par.summary(), sort_keys=True)
-    )
-    report.equivalence["parallel_ledgers_identical"] = (
-        serial.ledgers == par.ledgers and serial.sim_events == par.sim_events
-    )
 
-    # -- tier 5: cell cache cold vs warm --------------------------------
-    note("cell cache (fig3 grid, cold vs warm)")
-    entries, speedups, equivalence = _bench_cell_cache(jobs)
-    report.entries.extend(entries)
-    report.speedups.update(speedups)
-    report.equivalence.update(equivalence)
+        # -- tier 3: full ratio experiment, serial vs parallel -----------
+        reps = 2 if quick else 4
+        exp_size = 2 if quick else 32
+        exp_fidelity = Fidelity.TEST if quick else Fidelity.BENCH
+        factory = partial(
+            QmcPackNio, size=exp_size, n_threads=4, fidelity=exp_fidelity
+        )
+        configs = [RuntimeConfig.COPY] + list(ZERO_COPY_CONFIGS)
+        results = {}
+        walls = {}
+        for label, n_jobs in (("serial", 1), (f"jobs{jobs}", jobs)):
+            note(f"ratio experiment S{exp_size} x {reps} reps ({label})")
+            t0 = time.perf_counter()
+            results[label] = ratio_experiment(
+                factory, configs, reps=reps, jobs=n_jobs
+            )
+            walls[label] = time.perf_counter() - t0
+            report.entries.append(
+                BenchEntry(
+                    name=f"ratio_qmcpack_s{exp_size}_{label}",
+                    wall_s=walls[label],
+                    sim_events=results[label].sim_events,
+                    events_per_s=(
+                        results[label].sim_events / walls[label]
+                        if walls[label] > 0
+                        else 0.0
+                    ),
+                )
+            )
+        serial, par = results["serial"], results[f"jobs{jobs}"]
+        report.speedups["ratio_parallel_vs_serial"] = (
+            walls["serial"] / walls[f"jobs{jobs}"]
+            if walls[f"jobs{jobs}"] > 0
+            else 0.0
+        )
+        report.equivalence["parallel_summary_identical"] = (
+            json.dumps(serial.summary(), sort_keys=True)
+            == json.dumps(par.summary(), sort_keys=True)
+        )
+        report.equivalence["parallel_ledgers_identical"] = (
+            serial.ledgers == par.ledgers
+            and serial.sim_events == par.sim_events
+        )
+
+        # -- tier 5: cell cache cold vs warm ----------------------------
+        note("cell cache (fig3 grid, cold vs warm)")
+        entries, speedups, equivalence = _bench_cell_cache(jobs)
+        report.entries.extend(entries)
+        report.speedups.update(speedups)
+        report.equivalence.update(equivalence)
+
+    # -- tier 6: steady-state macro engine ------------------------------
+    if want("macro"):
+        note("macro engine (steady-state replay vs fused, interleaved)")
+        entries, speedups, equivalence = _bench_macro(quick)
+        report.entries.extend(entries)
+        report.speedups.update(speedups)
+        report.equivalence.update(equivalence)
     return report
 
 
@@ -565,8 +754,24 @@ def write_bench(
     quick: bool = False,
     jobs: int = 4,
     progress=None,
+    only: Optional[str] = None,
+    history_dir: Optional[str] = "benchmarks/history",
 ) -> BenchReport:
-    """Run the bench and persist BENCH.json (the CI entry point)."""
-    report = run_bench(quick=quick, jobs=jobs, progress=progress)
+    """Run the bench and persist BENCH.json (the CI entry point).
+
+    ``path`` always holds the *latest* report; every invocation also
+    appends a timestamped copy under ``history_dir`` (schema
+    ``repro-bench-v3``), giving CI an artifact trail of events/s over
+    time.  Pass ``history_dir=None`` to skip the history write.
+    """
+    import os
+
+    report = run_bench(quick=quick, jobs=jobs, progress=progress, only=only)
     report.write_json(path)
+    if history_dir:
+        os.makedirs(history_dir, exist_ok=True)
+        stamp = report.generated_utc.replace(":", "").replace("-", "")
+        report.write_json(
+            os.path.join(history_dir, f"bench-{stamp}.json")
+        )
     return report

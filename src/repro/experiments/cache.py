@@ -72,6 +72,11 @@ def cell_digest(cell: ExperimentCell) -> str:
     payload = {
         "schema": CACHE_SCHEMA,
         "engine_version": ENGINE_VERSION,
+        # engine *name* as well as version: macro/fast/reference results
+        # are equivalence-gated to be identical, but their cache entries
+        # must never alias — a macro regression could otherwise hide
+        # behind a fast-engine entry (and vice versa)
+        "engine": getattr(cell, "engine", "fast"),
         "workload": workload_fingerprint(cell.factory()),
         "config": cell.config.value,
         "seed": cell.seed,

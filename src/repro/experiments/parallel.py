@@ -50,6 +50,11 @@ class ExperimentCell:
     metric: str = "steady_us"
     noise: bool = True
     cost: Optional[CostModel] = None
+    #: simulation engine (``fast`` / ``reference`` / ``macro``); part of
+    #: the cell's cache identity — results are engine-invariant by the
+    #: bench equivalence gates, but digests must never alias across
+    #: engines
+    engine: str = "fast"
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,7 @@ def _execute_cell(cell: ExperimentCell) -> Tuple[Hashable, CellOutcome]:
         cost=cell.cost,
         seed=cell.seed,
         noise=cell.noise,
+        engine=cell.engine,
     )
     return cell.key, CellOutcome(
         value=float(getattr(run, cell.metric)),

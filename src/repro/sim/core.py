@@ -67,7 +67,10 @@ __all__ = [
 #: Bumped whenever engine changes could alter simulated-time arithmetic or
 #: event accounting.  Part of the experiment cell-cache key: a cached
 #: result can never be served across an engine whose numbers might differ.
-ENGINE_VERSION = 2
+#: Version 3 adds the MapWarp macro-execution engine (``repro.sim.macro``):
+#: steady-state segments replay outside the event loop, bit-identical to
+#: the fused path by construction and pinned by the bench differential.
+ENGINE_VERSION = 3
 
 
 class SimulationError(RuntimeError):

@@ -11,39 +11,55 @@ import pytest
 
 from repro.cli import main
 from repro.experiments.bench import (
+    BENCH_TIERS,
     BenchEntry,
     BenchReport,
     engine_differential,
     pagetable_parity,
+    run_bench,
     write_bench,
 )
 
-ENTRY_KEYS = {"name", "wall_s", "sim_events", "events_per_s"}
+ENTRY_KEYS = {"name", "wall_s", "sim_events", "events_per_s", "engine"}
 
 
 @pytest.fixture(scope="module")
 def quick_bench(tmp_path_factory):
-    path = tmp_path_factory.mktemp("bench") / "BENCH.json"
-    report = write_bench(str(path), quick=True, jobs=2)
-    return report, path
+    root = tmp_path_factory.mktemp("bench")
+    path = root / "BENCH.json"
+    history = root / "history"
+    report = write_bench(
+        str(path), quick=True, jobs=2, history_dir=str(history)
+    )
+    return report, path, history
 
 
 def test_bench_json_written_with_schema(quick_bench):
-    report, path = quick_bench
+    report, path, _ = quick_bench
     data = json.loads(path.read_text())
-    assert data["schema"] == "repro-bench-v2"
+    assert data["schema"] == "repro-bench-v3"
     assert data["quick"] is True
     assert data["jobs"] == 2
+    assert data["only"] is None
+    assert data["generated_utc"]
     assert data["entries"], "bench must record at least one measurement"
     for entry in data["entries"]:
         assert set(entry) == ENTRY_KEYS
         assert entry["wall_s"] > 0
         assert entry["sim_events"] > 0
         assert entry["events_per_s"] > 0
+        assert entry["engine"] in ("fast", "reference", "macro", "n/a")
+
+
+def test_bench_history_entry_written(quick_bench):
+    report, path, history = quick_bench
+    files = sorted(history.glob("bench-*.json"))
+    assert len(files) == 1
+    assert json.loads(files[0].read_text()) == json.loads(path.read_text())
 
 
 def test_bench_covers_all_tiers(quick_bench):
-    report, _ = quick_bench
+    report, _, _ = quick_bench
     names = [e.name for e in report.entries]
     assert any(n.startswith("scheduler_fused_micro") for n in names)
     assert any(n.startswith("scheduler_reference_micro") for n in names)
@@ -54,10 +70,13 @@ def test_bench_covers_all_tiers(quick_bench):
     assert any("jobs" in n for n in names)
     assert "fig3_cache_cold" in names
     assert "fig3_cache_warm" in names
+    engines = {e.name: e.engine for e in report.entries}
+    assert engines["qmcpack_s8_t1_izc_fused"] == "fast"
+    assert engines["qmcpack_s8_t1_izc_macro"] == "macro"
 
 
 def test_bench_equivalence_invariants_hold(quick_bench):
-    report, _ = quick_bench
+    report, _, _ = quick_bench
     assert report.equivalence == {
         "scheduler_micro_identical": True,
         "scheduler_differential": True,
@@ -66,18 +85,36 @@ def test_bench_equivalence_invariants_hold(quick_bench):
         "parallel_ledgers_identical": True,
         "cache_warm_zero_cells": True,
         "cache_values_identical": True,
+        "macro_identical": True,
+        "macro_differential": True,
     }
     assert report.ok
 
 
+def test_bench_only_filter_restricts_tiers():
+    report = run_bench(quick=True, only="pagetable")
+    names = [e.name for e in report.entries]
+    assert names and all(n.startswith("pagetable_") for n in names)
+    assert set(report.equivalence) == {"pagetable_parity"}
+
+
+def test_bench_only_rejects_unknown_tier():
+    with pytest.raises(ValueError, match="unknown bench tier"):
+        run_bench(quick=True, only="nonsense")
+    assert set(BENCH_TIERS) == {"scheduler", "pagetable", "meso", "macro"}
+
+
 def test_bench_records_speedups(quick_bench):
-    report, _ = quick_bench
+    report, _, _ = quick_bench
     # timing is recorded but never gated; still, the replacements should
     # not be slower than the engines they replaced
     assert report.speedups["pagetable_runs_vs_flat"] > 1.0
     assert report.speedups["scheduler_fused_vs_reference"] > 1.0
     assert report.speedups["cache_warm_vs_cold"] > 1.0
     assert "ratio_parallel_vs_serial" in report.speedups
+    # the macro engine must beat the event path it replays
+    assert report.speedups["macro_vs_fused"] > 1.0
+    assert "macro_vs_fused_median" in report.speedups
 
 
 def test_engine_differential_smoke():
@@ -85,10 +122,12 @@ def test_engine_differential_smoke():
 
 
 def test_bench_render_mentions_invariants(quick_bench):
-    report, _ = quick_bench
+    report, _, _ = quick_bench
     text = report.render()
     assert "equivalence pagetable_parity: PASS" in text
+    assert "equivalence macro_identical: PASS" in text
     assert "speedup pagetable_runs_vs_flat" in text
+    assert "speedup macro_vs_fused" in text
 
 
 def test_report_ok_false_when_any_invariant_fails():
@@ -98,12 +137,16 @@ def test_report_ok_false_when_any_invariant_fails():
 
 
 def test_entry_to_dict_roundtrip():
-    e = BenchEntry(name="x", wall_s=1.5, sim_events=30, events_per_s=20.0)
+    e = BenchEntry(
+        name="x", wall_s=1.5, sim_events=30, events_per_s=20.0,
+        engine="macro",
+    )
     assert e.to_dict() == {
         "name": "x",
         "wall_s": 1.5,
         "sim_events": 30,
         "events_per_s": 20.0,
+        "engine": "macro",
     }
 
 
@@ -112,7 +155,7 @@ def test_pagetable_parity_smoke():
 
 
 def _stub_write_bench(ok: bool):
-    def stub(path, *, quick=False, jobs=4, progress=None):
+    def stub(path, *, quick=False, jobs=4, progress=None, **kwargs):
         report = BenchReport(quick=quick, jobs=jobs)
         report.equivalence = {"stub": ok}
         report.write_json(path)

@@ -1,0 +1,344 @@
+"""MapWarp macro engine (ENGINE_VERSION 3): tracking, replay, fallback.
+
+Three layers of coverage:
+
+* :class:`~repro.sim.macro.SegmentTracker` unit tests — periodicity
+  detection, micro-period blacklisting, the armed-stretch splice on
+  divergence/disarm, and hint-assisted early arming;
+* randomized differential — QMCPack / 403.stencil / 404.lbm under all
+  four runtime configurations and several seeds, every observable
+  bit-identical between ``engine="macro"`` and the fused fast path;
+* divergence fallbacks — a mid-loop allocation and a first XNACK fault
+  on a page the armed segment has not seen must fall back to the event
+  path *and* leave results bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.core.params import CostModel
+from repro.core.system import ApuSystem
+from repro.experiments.bench import _run_observables, macro_differential
+from repro.omp.mapping import MapClause, MapKind
+from repro.omp.runtime import OpenMPRuntime
+from repro.sim import ENGINE_VERSION, MacroEnvironment
+from repro.sim.macro import (
+    DIVERGE,
+    MATCH,
+    OBSERVE,
+    SegmentTracker,
+    declared_period,
+)
+from repro.workloads import QmcPackNio, Stencil403, TriadStream
+from repro.workloads.base import Fidelity, Workload
+
+
+# ---------------------------------------------------------------------------
+# engine plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_engine_version_is_3():
+    assert ENGINE_VERSION == 3
+
+
+def test_apusystem_selects_macro_environment():
+    system = ApuSystem(engine="macro")
+    assert isinstance(system.env, MacroEnvironment)
+    assert system.engine == "macro"
+
+
+def test_apusystem_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="engine"):
+        ApuSystem(engine="warp9")
+
+
+def test_macro_executor_attaches_on_zero_copy_configs():
+    _, rt = _run(
+        QmcPackNio(size=2, n_threads=1, fidelity=Fidelity.TEST),
+        RuntimeConfig.IMPLICIT_ZERO_COPY,
+        "macro",
+    )
+    assert rt.macro is not None
+
+
+# ---------------------------------------------------------------------------
+# SegmentTracker
+# ---------------------------------------------------------------------------
+
+
+def test_tracker_arms_after_two_full_windows():
+    tr = SegmentTracker()
+    verdicts = [tr.advance(tok) for tok in ["e", "t", "x"] * 4]
+    # two full windows of the period-3 segment are needed to arm; every
+    # token after that matches without recording
+    assert verdicts[:6] == [OBSERVE] * 6
+    assert verdicts[6:] == [MATCH] * 6
+    assert tr.armed and len(tr.program) == 3
+
+
+def test_tracker_divergence_disarms():
+    tr = SegmentTracker()
+    for tok in ["e", "t"] * 2:
+        tr.advance(tok)
+    assert tr.armed
+    assert tr.advance("zzz") == DIVERGE
+    assert not tr.armed
+
+
+def test_tracker_blacklists_micro_period():
+    tr = SegmentTracker()
+    for tok in ("A", "B", "A", "B", "A"):
+        tr.advance(tok)
+    assert tr.armed
+    # the armed (A, B) program dies before completing one full cycle:
+    # it was a micro-period and must not be re-armed
+    tr.advance("C")
+    assert ("A", "B") in tr.blacklist
+
+
+def test_tracker_rebuilds_armed_stretch_on_divergence():
+    tr = SegmentTracker()
+    for tok in ("A", "B", "A", "B"):
+        tr.advance(tok)
+    assert tr.armed
+    # matched tokens are not recorded live...
+    for tok in ("A", "B", "A", "B"):
+        assert tr.advance(tok) == MATCH
+    assert len(tr.stream) == 4
+    # ...but divergence splices them back, keeping history contiguous
+    tr.advance("C")
+    assert tr.stream[-5:] == ["A", "B", "A", "B", "C"]
+    assert len(tr.stream) == 9
+
+
+def test_tracker_disarm_rebuilds_stream():
+    tr = SegmentTracker()
+    for tok in ("A", "B", "A", "B", "A", "B"):
+        tr.advance(tok)
+    assert tr.armed and len(tr.stream) == 4
+    tr.disarm()
+    assert not tr.armed
+    assert tr.stream == ["A", "B", "A", "B", "A", "B"]
+
+
+def test_tracker_hint_arms_after_single_window():
+    tr = SegmentTracker(hint=3)
+    for tok in ("a", "b", "c"):
+        assert tr.advance(tok) == OBSERVE
+    # one declared period plus one token of agreement suffices
+    assert tr.advance("a") == OBSERVE
+    assert tr.armed
+    for tok in ("b", "c", "a", "b", "c"):
+        assert tr.advance(tok) == MATCH
+
+
+def test_tracker_rejects_out_of_range_hint():
+    assert SegmentTracker(hint=0).hint is None
+    assert SegmentTracker(hint=100_000).hint is None
+
+
+# ---------------------------------------------------------------------------
+# declared periodicity (MapCost IR Loop(trips=N) nodes)
+# ---------------------------------------------------------------------------
+
+
+def test_declared_period_from_mapcost_ir():
+    # steady loops whose body folds to a fixed op count declare period 1
+    # (one target per trip)
+    assert declared_period(
+        QmcPackNio(size=2, n_threads=1, fidelity=Fidelity.TEST)
+    ) == 1
+    assert declared_period(Stencil403(fidelity=Fidelity.TEST)) == 1
+    # a data-dependent branch inside the loop makes extraction imprecise
+    assert declared_period(TriadStream(fidelity=Fidelity.TEST)) is None
+
+
+def test_declared_period_is_memoized():
+    from repro.sim.macro import _PERIOD_MEMO, _period_memo_key
+
+    wl = Stencil403(fidelity=Fidelity.TEST)
+    first = declared_period(wl)
+    key = _period_memo_key(wl)
+    assert key is not None and key in _PERIOD_MEMO
+    assert declared_period(Stencil403(fidelity=Fidelity.TEST)) == first
+
+
+# ---------------------------------------------------------------------------
+# replay equivalence
+# ---------------------------------------------------------------------------
+
+
+def _run(workload, config, engine, seed=0, hint=None):
+    """Mirror of ``runner.execute`` that exposes the runtime (for stats)."""
+    system = ApuSystem(cost=CostModel(), seed=seed, engine=engine)
+    rt = OpenMPRuntime(system, config)
+    if rt.macro is not None:
+        h = declared_period(workload) if hint is None else hint
+        if h:
+            rt.macro.hint = h
+    prepare = getattr(workload, "prepare", None)
+    if prepare is not None:
+        prepare(rt)
+    run = rt.run(
+        workload.make_body(),
+        n_threads=workload.n_threads,
+        outputs=workload.outputs.values,
+    )
+    return run, rt
+
+
+def _sides(factory, config, engine="macro", seed=0, hint=None):
+    wa = factory()
+    ra, _ = _run(wa, config, "fast", seed=seed)
+    wb = factory()
+    rb, rt = _run(wb, config, engine, seed=seed, hint=hint)
+    return _run_observables(ra, wa), _run_observables(rb, wb), rt
+
+
+def test_macro_differential_randomized():
+    """QMCPack + stencil + lbm x all four configs x >=3 seeds each."""
+    assert macro_differential(seed=101)
+
+
+def test_macro_identical_for_every_registry_workload():
+    """Every bundled workload x all four configs, bit-for-bit."""
+    from repro.check.registry import make_workload, workload_names
+
+    for name in workload_names():
+        for config in RuntimeConfig:
+            sa, sb, _ = _sides(
+                lambda n=name: make_workload(n, Fidelity.TEST), config
+            )
+            assert sa == sb, f"{name} diverged under {config.value}"
+
+
+def test_macro_engages_on_steady_state():
+    sa, sb, rt = _sides(
+        lambda: QmcPackNio(size=2, n_threads=1, fidelity=Fidelity.TEST),
+        RuntimeConfig.IMPLICIT_ZERO_COPY,
+    )
+    assert sa == sb
+    stats = rt.macro.stats
+    assert stats.ops_replayed > 0.5 * stats.ops_seen
+    assert rt.macro.trackers and any(
+        tr.arms > 0 for tr in rt.macro.trackers.values()
+    )
+
+
+def test_macro_identical_with_multiple_threads():
+    sa, sb, _ = _sides(
+        lambda: QmcPackNio(size=2, n_threads=2, fidelity=Fidelity.TEST),
+        RuntimeConfig.IMPLICIT_ZERO_COPY,
+    )
+    assert sa == sb
+
+
+def test_wrong_hint_cannot_break_correctness():
+    """The hint only tunes *when* replay arms; a wrong declared period
+    must still produce bit-identical results."""
+    sa, sb, _ = _sides(
+        lambda: QmcPackNio(size=2, n_threads=1, fidelity=Fidelity.TEST),
+        RuntimeConfig.IMPLICIT_ZERO_COPY,
+        hint=7,  # deliberately wrong (true steady period is 1)
+    )
+    assert sa == sb
+
+
+# ---------------------------------------------------------------------------
+# divergence fallbacks
+# ---------------------------------------------------------------------------
+
+
+class _AllocInLoop(Workload):
+    """Steady targets with one allocation dropped into the middle."""
+
+    name = "test-alloc-in-loop"
+
+    def __init__(self, iters: int = 24, fidelity: Fidelity = Fidelity.TEST):
+        super().__init__(fidelity)
+        self.iters = iters
+
+    def make_body(self):
+        outputs = self.outputs
+        iters = self.iters
+
+        def body(th, tid):
+            a = yield from th.alloc("a", 1 << 20, payload=np.zeros(8))
+            for i in range(iters):
+                yield from th.target(
+                    "k", 5.0,
+                    maps=[MapClause(a, MapKind.TOFROM, always=True)],
+                    fn=lambda args, g: args["a"].__iadd__(1.0),
+                )
+                if i == iters // 2:
+                    b = yield from th.alloc("mid", 1 << 20,
+                                            payload=np.zeros(8))
+                    yield from th.target(
+                        "kb", 5.0, maps=[MapClause(b, MapKind.TOFROM)],
+                        fn=None,
+                    )
+            outputs.put("a", a.payload.copy())
+
+        return body
+
+
+class _LateNewBuffer(Workload):
+    """A buffer the armed segment has never seen appears late: its first
+    kernel touch XNACK-faults, which must force an event-path fallback."""
+
+    name = "test-late-new-buffer"
+
+    def __init__(self, iters: int = 24, fidelity: Fidelity = Fidelity.TEST):
+        super().__init__(fidelity)
+        self.iters = iters
+
+    def make_body(self):
+        outputs = self.outputs
+        iters = self.iters
+
+        def body(th, tid):
+            a = yield from th.alloc("a", 1 << 20, payload=np.zeros(8))
+            b = yield from th.alloc("b", 1 << 20, payload=np.zeros(8))
+            for i in range(iters):
+                # same structural token every iteration (equal sizes),
+                # but the last few switch to the never-touched buffer
+                buf = a if i < iters - 4 else b
+                yield from th.target(
+                    "k", 5.0,
+                    maps=[MapClause(buf, MapKind.TOFROM, always=True)],
+                    fn=None,
+                )
+            outputs.put("a", a.payload.copy())
+            outputs.put("b", b.payload.copy())
+
+        return body
+
+
+def test_fallback_on_mid_loop_allocation():
+    sa, sb, rt = _sides(_AllocInLoop, RuntimeConfig.IMPLICIT_ZERO_COPY)
+    assert sa == sb
+    stats = rt.macro.stats
+    # the alloc token breaks the armed segment; replay still resumes
+    # afterwards
+    assert stats.divergences >= 1
+    assert stats.ops_replayed > 0
+
+
+def test_fallback_on_first_fault_on_unseen_page():
+    sa, sb, rt = _sides(_LateNewBuffer, RuntimeConfig.IMPLICIT_ZERO_COPY)
+    assert sa == sb
+    stats = rt.macro.stats
+    # the structural token matches but the residency guard must refuse
+    # to replay the first touch of the unseen buffer
+    assert stats.guard_fallbacks >= 1
+    assert stats.ops_replayed > 0
+
+
+def test_boundary_events_disarm_under_copy_config():
+    # Copy's per-iteration pool traffic raises segment boundaries; the
+    # macro engine must stay a spectator and still be bit-identical
+    sa, sb, rt = _sides(_AllocInLoop, RuntimeConfig.COPY)
+    assert sa == sb
+    assert rt.macro is None or rt.macro.stats.ops_replayed == 0
