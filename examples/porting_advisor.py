@@ -14,12 +14,19 @@ describe your app's offload pattern, and the advisor
    predictor — and cites the predicted per-configuration HSA call
    counts, copy bytes and fault pages *before any simulation runs*,
    plus any MC-W perf-lint pattern (map churn, fault storms, ...);
-3. simulates the profile under every runtime configuration and reports
+3. runs **MapFix** (``repro.check.static.fix``) — suggested
+   remediations: each fix was applied to a scratch copy of this file,
+   re-extracted and re-verified against the full rule catalog before
+   being printed, and carries MapCost's predicted per-configuration
+   cost delta; defects MapFix cannot mend mechanically come back as
+   explicit refusals instead of guesses;
+4. simulates the profile under every runtime configuration and reports
    which one wins and what the dominant overhead is.
 
-Three canned profiles are analyzed (a streaming solver, an
-allocation-churning solver, and a first-touch-heavy Monte Carlo code);
-edit ``PROFILES`` to model your own.
+Four canned profiles are analyzed (a streaming solver, an
+allocation-churning solver, a first-touch-heavy Monte Carlo code, and a
+lift-and-shift port that dropped its final copy-back); edit
+``PROFILES`` to model your own.
 
 Run:  python examples/porting_advisor.py
 """
@@ -95,7 +102,40 @@ class ProfiledApp(Workload):
         return body
 
 
-def lint_profile(profile: AppProfile) -> bool:
+class PortedLeakApp(Workload):
+    """A lift-and-shift port: the final copy-back was dropped along with
+    the ``cudaMemcpy`` calls it replaced — exactly the mechanical defect
+    MapFix can mend (and verify) on its own."""
+
+    def __init__(self, profile: AppProfile):
+        super().__init__(Fidelity.FULL)
+        self.name = profile.name
+        self.profile = profile
+
+    def make_body(self):
+        p = self.profile
+        outputs = self.outputs
+
+        def body(th, tid):
+            data = yield from th.alloc("data", p.working_set_bytes,
+                                       payload=np.zeros(64))
+            yield from th.target_enter_data([MapClause(data, MapKind.TO)])
+            for _ in range(p.kernels):
+                yield from th.target(
+                    "step", p.kernel_us,
+                    maps=[MapClause(data, MapKind.ALLOC)],
+                    fn=lambda a, g: a["data"].__iadd__(0.001),
+                )
+            outputs.put("data", data.payload.copy())
+
+        return body
+
+
+#: the profile driving :class:`PortedLeakApp` in ``main``
+LIFTED_PORT = AppProfile("lifted-port", GIB, 500, 1000.0, 64 * KIB, 0, False)
+
+
+def lint_profile(profile: AppProfile, app_cls=ProfiledApp) -> bool:
     """MapCheck pass: is the profile's mapping portable at all?
 
     The differential runs are skipped (``cross_check=False``) because the
@@ -103,7 +143,7 @@ def lint_profile(profile: AppProfile) -> bool:
     table doubles as the confirmation evidence.
     """
     report = check_workload(
-        lambda: ProfiledApp(profile), profile.name, cross_check=False
+        lambda: app_cls(profile), profile.name, cross_check=False
     )
     if report.ok:
         print("  mapcheck: clean — the timing comparison below is "
@@ -120,7 +160,7 @@ def lint_profile(profile: AppProfile) -> bool:
     return False
 
 
-def predict_profile(profile: AppProfile) -> None:
+def predict_profile(profile: AppProfile, app_cls=ProfiledApp) -> None:
     """MapCost static phase: cite the predicted per-config costs.
 
     Everything printed here comes from the symbolic cost walk over the
@@ -134,7 +174,7 @@ def predict_profile(profile: AppProfile) -> None:
     from repro.experiments import render_cost_table
 
     try:
-        ir = extract_workload(ProfiledApp(profile), name=profile.name)
+        ir = extract_workload(app_cls(profile), name=profile.name)
     except ExtractionError as exc:
         print(f"  mapcost: extraction failed ({exc}); skipping prediction")
         return
@@ -143,21 +183,52 @@ def predict_profile(profile: AppProfile) -> None:
     }
     table = render_cost_table(profile.name, predictions)
     print("\n".join("  " + line for line in table.splitlines()))
-    perf = perf_report(ProfiledApp(profile), profile.name)
+    perf = perf_report(app_cls(profile), profile.name)
     for f in perf.sorted_findings():
         broken = ", ".join(c.label for c in f.breaks_under) or "none"
         print(f"  perf-lint {f.rule_id} {f.rule.title} ({f.buffer}): "
               f"pays the overhead under {broken}")
 
 
-def advise(profile: AppProfile) -> None:
+def remediate_profile(profile: AppProfile, app_cls=ProfiledApp) -> None:
+    """MapFix phase: suggested remediations, sandbox-verified.
+
+    Each suggestion was applied to a scratch copy of this very file,
+    re-extracted and re-checked against the full rule catalog before
+    being printed — the advisor never suggests an edit it could not
+    verify.  The dynamic acceptance gate is skipped (``dynamic=False``)
+    because the advisor's own timing table runs all four configurations
+    anyway.  ``rebuild`` re-instantiates the profiled app from the
+    patched module (the class takes the profile as an argument).
+    """
+    from repro.check.static.fix import remediate
+
+    res = remediate(
+        lambda: app_cls(profile), profile.name, dynamic=False,
+        rebuild=lambda module: getattr(module, app_cls.__name__)(profile),
+    )
+    if res.status == "clean":
+        print("  mapfix: no remediation needed")
+        return
+    for i, fix in enumerate(res.ranked_fixes(), 1):
+        print(f"  mapfix suggestion {i}: [{fix.rule_id} {fix.buffer!r}] "
+              f"{fix.description}")
+        print(f"    predicted cost delta — {fix.delta_summary()}")
+    for r in res.refusals:
+        print(f"  mapfix refused: {r.render()}")
+    if res.residual:
+        print("  mapfix residual (needs a human): " + ", ".join(res.residual))
+
+
+def advise(profile: AppProfile, app_cls=ProfiledApp) -> None:
     print(f"\n=== {profile.name} ===")
-    portable = lint_profile(profile)
-    predict_profile(profile)
+    portable = lint_profile(profile, app_cls)
+    predict_profile(profile, app_cls)
+    remediate_profile(profile, app_cls)
     times = {}
     details = {}
     for config in ALL_CONFIGS:
-        res = execute(ProfiledApp(profile), config)
+        res = execute(app_cls(profile), config)
         times[config] = res.elapsed_us
         details[config] = res.ledger
     best = min(times, key=times.get)
@@ -194,6 +265,7 @@ def main():
     print("Porting advisor — simulating your offload profile on MI300A")
     for profile in PROFILES:
         advise(profile)
+    advise(LIFTED_PORT, app_cls=PortedLeakApp)
 
 
 if __name__ == "__main__":

@@ -41,6 +41,8 @@ __all__ = [
     "NowaitResultRaceWorkload",
     "ExitExitRaceWorkload",
     "CrossThreadHostWriteWorkload",
+    "AmbiguousReleaseWorkload",
+    "EscapedBufferLeakWorkload",
     "MapChurnWorkload",
     "RedundantMapWorkload",
     "FaultStormWorkload",
@@ -421,6 +423,60 @@ class CrossThreadHostWriteWorkload(Workload):
         return body
 
 
+class AmbiguousReleaseWorkload(Workload):
+    """Releases its mapping behind an opaque guard *and* unconditionally:
+    on the guarded path the second exit underflows (MC-S10), but deleting
+    it would leak the mapping on the path where the guard is false — the
+    remediation is semantically ambiguous, so MapFix must refuse to
+    propose one (every candidate fails sandbox verification)."""
+
+    name = "faulty-ambiguous-release"
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        def body(th, tid):
+            data = yield from th.alloc("amb", MIB, payload=np.ones(8))
+            yield from th.target_enter_data([MapClause(data, MapKind.TO)])
+            if th.env.now >= 0.0:  # opaque to the extractor: both arms live
+                yield from th.target_exit_data(
+                    [MapClause(data, MapKind.RELEASE)]
+                )
+            yield from th.target_exit_data([MapClause(data, MapKind.RELEASE)])
+
+        return body
+
+
+class EscapedBufferLeakWorkload(Workload):
+    """Leaks a mapping whose buffer is owned by a dict entry, not a
+    variable: the missing ``exit data`` is real (MC-S12), but any
+    inserted exit would have to guess how to name the escaped buffer —
+    MapFix's synthesis precondition (simple-name owners only) refuses."""
+
+    name = "faulty-escaped-leak"
+
+    def __init__(self):
+        super().__init__(Fidelity.TEST)
+
+    def make_body(self):
+        bag = {}
+
+        def body(th, tid):
+            bag["buf"] = yield from th.alloc(
+                "escaped", MIB, payload=np.ones(8)
+            )
+            yield from th.target_enter_data(
+                [MapClause(bag["buf"], MapKind.TO)]
+            )
+            yield from th.target(
+                "touch", 50.0, maps=[MapClause(bag["buf"], MapKind.ALLOC)],
+                fn=lambda a, g: None,
+            )
+
+        return body
+
+
 # ---------------------------------------------------------------------------
 # perf-lint corpus: dynamically *clean* workloads whose mapping pattern
 # is expensive under specific configurations (one MC-W rule each)
@@ -586,6 +642,8 @@ CORPUS: Dict[str, Callable[[], Workload]] = {
     "nowait-result": NowaitResultRaceWorkload,
     "exit-exit-race": ExitExitRaceWorkload,
     "cross-thread-host-write": CrossThreadHostWriteWorkload,
+    "ambiguous-release": AmbiguousReleaseWorkload,
+    "escaped-buffer-leak": EscapedBufferLeakWorkload,
 }
 
 #: short name -> dynamically-clean perf-pattern workload class; kept

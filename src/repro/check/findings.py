@@ -189,6 +189,9 @@ class Finding:
     #: matched a baseline fingerprint (``repro check --baseline``):
     #: stays in reports and SARIF but no longer fails the run
     suppressed: bool = False
+    #: MapFix attachment: a sandbox-verified remediation for this finding
+    #: (``AppliedFix.finding_attachment()``), rendered as SARIF ``fixes[]``
+    fix: Optional[Dict[str, object]] = None
 
     @property
     def rule(self) -> Rule:
@@ -218,6 +221,7 @@ class Finding:
             "related": list(self.related),
             "source": list(self.source) if self.source else None,
             "suppressed": self.suppressed,
+            "fix": self.fix,
         }
 
     def sort_key(self) -> Tuple[str, str, str, float, int, str]:

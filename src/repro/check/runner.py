@@ -19,6 +19,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import pickle
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -213,6 +214,15 @@ def check_workload(
             _divergence_findings(findings, outcomes, wname)
         )
         report.config_outcomes = outcomes
+    if any(f.source is None for f in report.findings):
+        # best-effort: locate dynamic findings via the static extractor
+        # (MapFix and SARIF viewers want every finding to carry a line);
+        # workloads outside static scope simply keep source=None
+        with contextlib.suppress(Exception):
+            from .locate import backfill_sources
+            from .static.extract import extract_workload
+
+            backfill_sources(report.findings, extract_workload(factory(), wname))
     return report
 
 

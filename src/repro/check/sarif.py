@@ -61,6 +61,29 @@ def _rule_descriptor(rule_id: str) -> Dict[str, object]:
     }
 
 
+def _sarif_fix(fix: Dict[str, object]) -> Dict[str, object]:
+    """A SARIF ``fix`` object from a :class:`Finding.fix` attachment
+    (produced by MapFix's :class:`~.static.fix.engine.AppliedFix`)."""
+    from .static.fix.edits import SourceEdit, sarif_replacements
+
+    edits = [
+        SourceEdit(
+            start=int(e["start"]), end=int(e["end"]),
+            new_lines=tuple(e["new_lines"]), note=str(e.get("note", "")),
+        )
+        for e in fix["edits"]
+    ]
+    return {
+        "description": {"text": fix["description"]},
+        "artifactChanges": [{
+            "artifactLocation": {
+                "uri": str(fix["path"]).replace("\\", "/"),
+            },
+            "replacements": sarif_replacements(edits),
+        }],
+    }
+
+
 def _result(finding: Finding) -> Dict[str, object]:
     result: Dict[str, object] = {
         "ruleId": finding.rule_id,
@@ -74,6 +97,14 @@ def _result(finding: Finding) -> Dict[str, object]:
             "confirmedBy": [c.value for c in finding.confirmed_by],
         },
     }
+    if finding.fix:
+        result["fixes"] = [_sarif_fix(finding.fix)]
+        result["properties"]["fix"] = {
+            "kind": finding.fix["kind"],
+            "round": finding.fix["round"],
+            "costDelta": finding.fix["cost_delta"],
+            "savedExact": finding.fix["saved_exact"],
+        }
     if finding.suppressed:
         # stays visible to SARIF viewers, marked as reviewed/accepted
         result["suppressions"] = [{

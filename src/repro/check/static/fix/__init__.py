@@ -1,0 +1,51 @@
+"""MapFix: verified auto-remediation for the static rule catalog.
+
+The analyses (MapFlow/MapRace/MapCost) say *what* is wrong; MapFix
+closes the loop and proposes the edit — never heuristically:
+
+* :mod:`.synthesize` — per-rule fixers over the map-op IR + source AST,
+  with explicit refusal preconditions (no speculative edits);
+* :mod:`.edits` — the line-oriented patch representation shared by the
+  sandbox rewrite, the ``--fix-out`` diff files and SARIF ``fixes[]``;
+* :mod:`.sandbox` — temp-copy import + full 23-rule re-analysis of
+  every candidate;
+* :mod:`.engine` — the round-based remediation driver with MapCost
+  cost-delta ranking and the instrumented dynamic acceptance gate;
+* :mod:`.differential` — the corpus-wide expected-class gate CI runs.
+"""
+
+from __future__ import annotations
+
+from .differential import (
+    EXPECTED_STATUS,
+    FixDifferentialResult,
+    fix_differential,
+)
+from .edits import SourceEdit, apply_edits, render_diff, sarif_replacements
+from .engine import AppliedFix, RemediationResult, remediate, write_patches
+from .synthesize import (
+    FIXABLE_RULES,
+    UNFIXABLE_REASONS,
+    CandidateFix,
+    Refusal,
+    synthesize_fixes,
+)
+
+__all__ = [
+    "AppliedFix",
+    "CandidateFix",
+    "EXPECTED_STATUS",
+    "FIXABLE_RULES",
+    "FixDifferentialResult",
+    "Refusal",
+    "RemediationResult",
+    "SourceEdit",
+    "UNFIXABLE_REASONS",
+    "apply_edits",
+    "fix_differential",
+    "remediate",
+    "render_diff",
+    "sarif_replacements",
+    "synthesize_fixes",
+    "write_patches",
+]

@@ -1,0 +1,130 @@
+"""Sandboxed re-analysis of candidate fixes.
+
+A candidate edit is never trusted on syntactic grounds: the patched
+source is written to a temp file, imported as a sibling module of the
+workload's package (so its relative imports resolve), and the rebuilt
+workload class is pushed through the *same* extraction + 23-rule static
+report + perf lint the original went through — and, at the engine's
+request, through the full instrumented dynamic re-run under every
+runtime configuration.  A fix is only ever accepted on the strength of
+those re-analyses.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import itertools
+import os
+import sys
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Callable, List, Optional
+
+from ....workloads.base import Workload
+from ...findings import CheckReport, Finding
+from ..extract import extract_workload
+from ..ir import WorkloadIR
+
+__all__ = ["SandboxError", "SandboxAnalysis", "analyze_instance", "load_patched"]
+
+_counter = itertools.count(1)
+
+
+class SandboxError(RuntimeError):
+    """The patched source failed to import, rebuild or re-extract."""
+
+
+@dataclass
+class SandboxAnalysis:
+    """One static+perf analysis of a (possibly patched) workload."""
+
+    findings: List[Finding] = field(default_factory=list)
+    ir: Optional[WorkloadIR] = None
+    #: builds a fresh workload instance (for dynamic re-runs)
+    build: Callable[[], Workload] = None  # type: ignore[assignment]
+    aborted: Optional[str] = None
+
+    def fingerprints(self) -> set:
+        return {(f.rule_id, f.buffer) for f in self.findings}
+
+
+def _static_perf_findings(workload: Workload, name: str) -> CheckReport:
+    """The full static side: MapFlow + MapRace + MapCost perf lint."""
+    from ..cost import perf_report
+    from ..rules import static_report
+
+    report = static_report(workload, name)
+    perf = perf_report(workload, name)
+    report.findings.extend(perf.findings)
+    if perf.aborted and report.aborted is None:
+        report.aborted = perf.aborted
+    return report
+
+
+def analyze_instance(build: Callable[[], Workload],
+                     name: str) -> SandboxAnalysis:
+    """Run the static report + extraction over fresh instances."""
+    report = _static_perf_findings(build(), name)
+    if report.aborted:
+        return SandboxAnalysis(findings=list(report.findings), ir=None,
+                               build=build, aborted=report.aborted)
+    ir = extract_workload(build(), name=name)
+    return SandboxAnalysis(
+        findings=sorted(report.findings, key=Finding.sort_key),
+        ir=ir, build=build,
+    )
+
+
+def _load_module(text: str, origin_module: str, tmpdir: str) -> ModuleType:
+    """Import patched source as a sibling of the original's package.
+
+    Naming the temp module ``<package>._mapfix_sandboxN`` makes its
+    ``__package__`` the workload's own package, so relative imports in
+    the patched source resolve against the installed tree while the
+    module body itself comes from the temp file.
+    """
+    n = next(_counter)
+    if "." in origin_module:
+        package = origin_module.rsplit(".", 1)[0]
+        mod_name = f"{package}._mapfix_sandbox{n}"
+    else:
+        mod_name = f"_mapfix_sandbox{n}"
+    path = os.path.join(tmpdir, f"mapfix_{n}.py")
+    with open(path, "w") as fh:
+        fh.write(text)
+    spec = importlib.util.spec_from_file_location(mod_name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        raise SandboxError(f"cannot load patched source as {mod_name}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[mod_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        sys.modules.pop(mod_name, None)
+        raise SandboxError(f"patched source failed to import: {exc}") from exc
+    return module
+
+
+def load_patched(
+    text: str,
+    origin_module: str,
+    cls_name: str,
+    tmpdir: str,
+    rebuild: Optional[Callable[[ModuleType], Workload]] = None,
+) -> Callable[[], Workload]:
+    """Import patched source; return a fresh-instance factory.
+
+    ``rebuild`` customizes instantiation for workload classes that take
+    constructor arguments (the porting advisor's profiled apps); the
+    default calls the class with no arguments, like the corpus.
+    """
+    module = _load_module(text, origin_module, tmpdir)
+    if rebuild is not None:
+        return lambda: rebuild(module)
+    try:
+        cls = getattr(module, cls_name)
+    except AttributeError as exc:
+        raise SandboxError(
+            f"patched source no longer defines {cls_name!r}"
+        ) from exc
+    return lambda: cls()

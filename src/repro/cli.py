@@ -13,8 +13,9 @@
                           [--static] [--perf] [--no-sim] [--sarif FILE]
                           [--perf-json FILE] [--baseline FILE]
                           [--write-baseline FILE] [--jobs N]
+                          [--fix-dry-run] [--fix-out DIR] [--fix-json FILE]
     python -m repro bench  [--quick] [--jobs N] [--bench-json BENCH.json]
-                           [--only scheduler|pagetable|meso|macro]
+                           [--only scheduler|pagetable|meso|macro|static]
                            [--bench-history DIR]
 
 ``check`` runs the MapCheck sanitizer/lint over a bundled workload (or
@@ -29,6 +30,18 @@ accepted by an earlier ``--write-baseline FILE`` run (suppressed
 findings stay in SARIF, carrying ``suppressions``).  For ``check all``,
 ``--jobs`` fans the workloads out over a process pool with
 byte-identical output.
+
+``--fix-dry-run`` switches ``check`` into MapFix mode: for every faulty
+corpus workload (or one named corpus entry) it synthesizes candidate
+remediations, verifies each in a sandbox (the target finding must
+disappear and zero new findings may appear across the full 23-rule
+report), ranks accepted fixes by MapCost's predicted per-configuration
+cost delta, and prints the verdicts — nothing in the repo is modified.
+``--fix-out DIR`` additionally writes one unified-diff patch file per
+remediated workload; ``--fix-json FILE`` writes the corpus fix
+differential as JSON; ``--sarif`` in fix mode attaches SARIF 2.1.0
+``fixes[]`` to the findings.  Exit status 1 if any workload misses its
+pinned remediation class.
 
 ``--jobs N`` fans the independent (workload, config, repetition) cells
 of an experiment out over N worker processes; results are bit-identical
@@ -139,6 +152,51 @@ def cmd_all(args) -> str:
     return ("\n\n" + "=" * 72 + "\n\n").join(parts)
 
 
+def _check_fix(args) -> str:
+    """MapFix dry run over the faulty corpus; sets args.exit_code."""
+    import json
+
+    from .check.corpus import CORPUS, PERF_CORPUS
+    from .check.static.fix import fix_differential, remediate, write_patches
+
+    dynamic = not args.no_sim
+    target = args.workload or "all"
+    entries = {**CORPUS, **PERF_CORPUS}
+    if target == "all":
+        diff = fix_differential(dynamic=dynamic, progress=_progress)
+        results = list(diff.results.values())
+        args.exit_code = 0 if diff.ok else 1
+        payload = diff.to_dict()
+        body = diff.render()
+    else:
+        if target not in entries:
+            raise SystemExit(
+                f"unknown corpus workload {target!r}; fix mode targets the "
+                f"faulty corpus: {', '.join(sorted(entries))} or 'all'")
+        res = remediate(entries[target], entries[target]().name,
+                        dynamic=dynamic)
+        results = [res]
+        args.exit_code = 0 if res.ok else 1
+        payload = res.to_dict()
+        body = res.render()
+    if args.fix_json:
+        with open(args.fix_json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.fix_json}", file=sys.stderr)
+    if args.fix_out:
+        written = write_patches(results, args.fix_out)
+        print(f"wrote {len(written)} patch file(s) to {args.fix_out}",
+              file=sys.stderr)
+    if args.sarif:
+        from .check.sarif import write_sarif
+
+        write_sarif([r.report for r in results if r.report is not None],
+                    args.sarif)
+        print(f"wrote {args.sarif}", file=sys.stderr)
+    return body
+
+
 def cmd_check(args) -> str:
     """MapCheck over one bundled workload (or all); sets args.exit_code."""
     import json
@@ -154,6 +212,8 @@ def cmd_check(args) -> str:
     args.exit_code = 0
     if args.rules:
         return render_rule_table()
+    if args.fix_dry_run or args.fix_out or args.fix_json:
+        return _check_fix(args)
     if args.no_sim and not (args.static or args.perf):
         raise SystemExit("--no-sim requires --static or --perf")
     target = args.workload or "all"
@@ -340,6 +400,25 @@ def build_parser() -> argparse.ArgumentParser:
         "the accepted baseline",
     )
     parser.add_argument(
+        "--fix-dry-run", action="store_true",
+        help="for 'check': run MapFix over the faulty corpus (or one "
+        "named corpus entry): synthesize remediations, verify each in a "
+        "sandbox against the full rule catalog, rank by MapCost cost "
+        "delta, and report — the repo itself is never modified; with "
+        "--no-sim the dynamic acceptance gate is skipped",
+    )
+    parser.add_argument(
+        "--fix-out", default=None, metavar="DIR",
+        help="for 'check' fix mode: write one unified-diff patch file "
+        "per remediated workload into DIR (implies --fix-dry-run)",
+    )
+    parser.add_argument(
+        "--fix-json", default=None, metavar="FILE",
+        help="for 'check' fix mode: write the corpus fix differential "
+        "(statuses, verified fixes, per-config cost deltas, refusals) "
+        "as JSON (implies --fix-dry-run)",
+    )
+    parser.add_argument(
         "--sarif", default=None, metavar="FILE",
         help="for 'check': additionally write the findings as SARIF 2.1.0 "
         "(for GitHub code scanning and SARIF viewers)",
@@ -383,9 +462,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--only", default=None, metavar="TIER",
-        choices=("scheduler", "pagetable", "meso", "macro"),
+        choices=("scheduler", "pagetable", "meso", "macro", "static"),
         help="for 'bench': run a single tier (scheduler|pagetable|meso|"
-        "macro) instead of all of them",
+        "macro|static) instead of all of them",
     )
     parser.add_argument(
         "--bench-history", default="benchmarks/history", metavar="DIR",

@@ -1,9 +1,9 @@
 """``python -m repro bench`` — micro/meso benchmark harness.
 
-Six tiers, each emitting ``{name, wall_s, sim_events, events_per_s,
-engine}`` entries into ``BENCH.json`` (schema ``repro-bench-v3``;
-``--only scheduler|pagetable|meso|macro`` restricts the run, and every
-invocation also appends a timestamped copy of the report under
+Seven tiers, each emitting ``{name, wall_s, sim_events, events_per_s,
+engine}`` entries into ``BENCH.json`` (schema ``repro-bench-v4``;
+``--only scheduler|pagetable|meso|macro|static`` restricts the run, and
+every invocation also appends a timestamped copy of the report under
 ``benchmarks/history/``):
 
 * **scheduler micro** — a host-thread call-chain workout (fused
@@ -26,7 +26,11 @@ invocation also appends a timestamped copy of the report under
 * **macro** — the steady-state macro engine (``engine="macro"``,
   ``ENGINE_VERSION 3``) vs. the fused engine on a single-thread QMCPack
   run, measured in interleaved rounds so machine-speed drift hits both
-  engines equally.
+  engines equally;
+* **static** — the static pipeline over the faulty corpus, per phase
+  (extract, abstract interpretation, MapCost prediction, MapRace,
+  MapFix remediation) plus an end-to-end ``check all --static --perf
+  --no-sim`` pass; gated by the MapFix zero-fix pins.
 
 Wall-clock numbers are hardware-dependent and never gate anything; the
 **run-equivalence invariants** do (CI fails on them):
@@ -83,8 +87,10 @@ __all__ = [
 
 #: ``--only`` tier names.  ``meso`` covers the end-to-end simulation
 #: tiers (single QMCPack run, ratio experiment, cell cache); ``macro``
-#: is the steady-state macro-engine tier.
-BENCH_TIERS = ("scheduler", "pagetable", "meso", "macro")
+#: is the steady-state macro-engine tier; ``static`` times the static
+#: pipeline (extract / interp / cost / race / fix) over the faulty
+#: corpus plus a ``check all --static --perf --no-sim`` end-to-end pass.
+BENCH_TIERS = ("scheduler", "pagetable", "meso", "macro", "static")
 
 
 @dataclass(frozen=True)
@@ -134,7 +140,7 @@ class BenchReport:
 
     def to_dict(self) -> Dict[str, object]:
         return {
-            "schema": "repro-bench-v3",
+            "schema": "repro-bench-v4",
             "quick": self.quick,
             "jobs": self.jobs,
             "only": self.only,
@@ -607,6 +613,108 @@ def pagetable_parity(seed: int = 7, rounds: int = 300) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# static-pipeline tier (extract / interp / cost / race / fix + end-to-end)
+# ---------------------------------------------------------------------------
+
+
+def _bench_static(
+    quick: bool,
+) -> Tuple[List[BenchEntry], Dict[str, float], Dict[str, bool]]:
+    """Time the static-analysis pipeline, per phase and end-to-end.
+
+    Per-phase entries walk the whole faulty corpus (the static
+    analyses' design target); ``sim_events`` counts the IR ops (or
+    op x config cells) each phase processed, so events/s tracks
+    analysis throughput the way the engine tiers track event
+    throughput.  The end-to-end entry is ``check all --static --perf
+    --no-sim`` over the bundled workloads.  The gating invariant is the
+    MapFix corpus differential in static-only mode: every zero-fix pin
+    must hold (no speculative edits) regardless of timing.
+    """
+    from ..check.corpus import CORPUS, PERF_CORPUS
+    from ..check.runner import check_all
+    from ..check.static.cost import CostEnv, predict_costs
+    from ..check.static.extract import extract_workload
+    from ..check.static.fix import fix_differential
+    from ..check.static.interp import analyze_ir
+    from ..check.static.ir import Branch, Loop
+    from ..check.static.race.rules import race_findings
+
+    corpus = {**CORPUS, **PERF_CORPUS}
+
+    def _count_ops(ir) -> int:
+        def walk(seq) -> int:
+            total = 0
+            for item in seq.items:
+                if isinstance(item, Branch):
+                    total += walk(item.then) + walk(item.orelse)
+                elif isinstance(item, Loop):
+                    total += walk(item.body)
+                else:
+                    total += 1
+            return total
+
+        return sum(walk(th.body) for th in ir.threads)
+
+    entries: List[BenchEntry] = []
+
+    t0 = time.perf_counter()
+    irs = {name: extract_workload(cls(), name=cls().name)
+           for name, cls in corpus.items()}
+    wall = time.perf_counter() - t0
+    ops = sum(_count_ops(ir) for ir in irs.values())
+    entries.append(BenchEntry(
+        name="static_extract_corpus", wall_s=wall, sim_events=ops,
+        events_per_s=ops / wall if wall > 0 else 0.0, engine="n/a"))
+
+    t0 = time.perf_counter()
+    for ir in irs.values():
+        analyze_ir(ir)
+    wall = time.perf_counter() - t0
+    entries.append(BenchEntry(
+        name="static_interp_corpus", wall_s=wall, sim_events=ops,
+        events_per_s=ops / wall if wall > 0 else 0.0, engine="n/a"))
+
+    t0 = time.perf_counter()
+    cells = 0
+    for ir in irs.values():
+        for config in RuntimeConfig:
+            predict_costs(ir, CostEnv.for_config(config))
+            cells += _count_ops(ir)
+    wall = time.perf_counter() - t0
+    entries.append(BenchEntry(
+        name="static_cost_corpus", wall_s=wall, sim_events=cells,
+        events_per_s=cells / wall if wall > 0 else 0.0, engine="n/a"))
+
+    t0 = time.perf_counter()
+    for ir in irs.values():
+        race_findings(ir)
+    wall = time.perf_counter() - t0
+    entries.append(BenchEntry(
+        name="static_race_corpus", wall_s=wall, sim_events=ops,
+        events_per_s=ops / wall if wall > 0 else 0.0, engine="n/a"))
+
+    t0 = time.perf_counter()
+    fix_diff = fix_differential(dynamic=False)
+    wall = time.perf_counter() - t0
+    n_corpus = len(corpus)
+    entries.append(BenchEntry(
+        name="static_fix_corpus", wall_s=wall, sim_events=n_corpus,
+        events_per_s=n_corpus / wall if wall > 0 else 0.0, engine="n/a"))
+
+    t0 = time.perf_counter()
+    reports = check_all(Fidelity.TEST, static=True, dynamic=False, perf=True)
+    wall = time.perf_counter() - t0
+    n_findings = max(1, sum(len(r.findings) for r in reports))
+    entries.append(BenchEntry(
+        name="static_check_all_e2e", wall_s=wall, sim_events=n_findings,
+        events_per_s=n_findings / wall if wall > 0 else 0.0, engine="n/a"))
+
+    equivalence = {"static_fix_differential": fix_diff.ok}
+    return entries, {}, equivalence
+
+
+# ---------------------------------------------------------------------------
 # top level
 # ---------------------------------------------------------------------------
 
@@ -745,6 +853,14 @@ def run_bench(
         report.entries.extend(entries)
         report.speedups.update(speedups)
         report.equivalence.update(equivalence)
+
+    # -- tier 7: static pipeline (extract/interp/cost/race/fix) ---------
+    if want("static"):
+        note("static pipeline (corpus phases + check all --static --perf)")
+        entries, speedups, equivalence = _bench_static(quick)
+        report.entries.extend(entries)
+        report.speedups.update(speedups)
+        report.equivalence.update(equivalence)
     return report
 
 
@@ -761,7 +877,7 @@ def write_bench(
 
     ``path`` always holds the *latest* report; every invocation also
     appends a timestamped copy under ``history_dir`` (schema
-    ``repro-bench-v3``), giving CI an artifact trail of events/s over
+    ``repro-bench-v4``), giving CI an artifact trail of events/s over
     time.  Pass ``history_dir=None`` to skip the history write.
     """
     import os

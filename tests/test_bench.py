@@ -37,7 +37,7 @@ def quick_bench(tmp_path_factory):
 def test_bench_json_written_with_schema(quick_bench):
     report, path, _ = quick_bench
     data = json.loads(path.read_text())
-    assert data["schema"] == "repro-bench-v3"
+    assert data["schema"] == "repro-bench-v4"
     assert data["quick"] is True
     assert data["jobs"] == 2
     assert data["only"] is None
@@ -70,6 +70,9 @@ def test_bench_covers_all_tiers(quick_bench):
     assert any("jobs" in n for n in names)
     assert "fig3_cache_cold" in names
     assert "fig3_cache_warm" in names
+    for phase in ("extract", "interp", "cost", "race", "fix"):
+        assert f"static_{phase}_corpus" in names
+    assert "static_check_all_e2e" in names
     engines = {e.name: e.engine for e in report.entries}
     assert engines["qmcpack_s8_t1_izc_fused"] == "fast"
     assert engines["qmcpack_s8_t1_izc_macro"] == "macro"
@@ -87,6 +90,7 @@ def test_bench_equivalence_invariants_hold(quick_bench):
         "cache_values_identical": True,
         "macro_identical": True,
         "macro_differential": True,
+        "static_fix_differential": True,
     }
     assert report.ok
 
@@ -101,7 +105,17 @@ def test_bench_only_filter_restricts_tiers():
 def test_bench_only_rejects_unknown_tier():
     with pytest.raises(ValueError, match="unknown bench tier"):
         run_bench(quick=True, only="nonsense")
-    assert set(BENCH_TIERS) == {"scheduler", "pagetable", "meso", "macro"}
+    assert set(BENCH_TIERS) == {
+        "scheduler", "pagetable", "meso", "macro", "static",
+    }
+
+
+def test_bench_only_static_tier():
+    report = run_bench(quick=True, only="static")
+    names = [e.name for e in report.entries]
+    assert names and all(n.startswith("static_") for n in names)
+    assert set(report.equivalence) == {"static_fix_differential"}
+    assert report.ok
 
 
 def test_bench_records_speedups(quick_bench):

@@ -11,7 +11,9 @@ under Legacy Copy / discrete-GPU deployments.
 from repro.check import check_workload
 from repro.check.corpus import (
     AlwaysMisuseWorkload,
+    AmbiguousReleaseWorkload,
     DoubleUnmapWorkload,
+    EscapedBufferLeakWorkload,
     HostWriteRaceWorkload,
     LeakWorkload,
     MapRaceWorkload,
@@ -163,3 +165,21 @@ def test_each_analysis_produces_findings_with_stable_rule_ids():
     assert "MC-R02" in rule_ids(race)
     for rep in (lint, sani, race):
         assert not rep.ok
+
+
+# ---------------------------------------------------------------------------
+# deliberately unfixable corpus entries (MapFix zero-fix pins live in
+# test_mapfix.py; here we pin their *dynamic* defect signatures)
+# ---------------------------------------------------------------------------
+def test_ambiguous_release_double_exits_on_the_taken_path():
+    report = check_workload(AmbiguousReleaseWorkload, cross_check=False)
+    [f] = find(report, "MC-S03")
+    assert f.buffer == "amb"
+    assert report.aborted is not None and "absent" in report.aborted
+
+
+def test_escaped_buffer_leak_flagged_at_teardown():
+    report = check_workload(EscapedBufferLeakWorkload, cross_check=False)
+    [f] = find(report, "MC-S02")
+    assert f.buffer == "escaped"
+    assert report.aborted is None

@@ -1,0 +1,74 @@
+"""Every corpus finding must carry a concrete ``(path, line)`` source.
+
+The dynamic analyses observe events, not source, so their findings
+historically shipped ``source=None``; the runner now backfills them
+from the static IR (``repro.check.locate``).  MapFix and SARIF viewers
+rely on every finding being located, so this snapshot pins it for the
+whole corpus across all three analysis modes.
+"""
+
+import os
+
+import repro
+from repro.check import check_workload
+from repro.check.corpus import CORPUS, PERF_CORPUS
+from repro.check.findings import Finding
+from repro.check.locate import backfill_sources
+from repro.check.static import static_report
+from repro.check.static.cost import perf_report
+from repro.check.static.extract import extract_workload
+
+SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _assert_located(findings, label):
+    missing = [(f.rule_id, f.buffer) for f in findings if f.source is None]
+    assert not missing, f"{label}: unlocated finding(s) {missing}"
+    for f in findings:
+        path, line = f.source
+        assert line >= 1, f"{label}: bad line {line}"
+        full = os.path.join(SRC_ROOT, path)
+        assert os.path.exists(full), f"{label}: {path} does not resolve"
+        n_lines = len(open(full).read().splitlines())
+        assert line <= n_lines, f"{label}: line {line} past EOF"
+
+
+def test_every_dynamic_corpus_finding_is_located():
+    for name, cls in {**CORPUS, **PERF_CORPUS}.items():
+        report = check_workload(cls, cls().name, cross_check=False)
+        if name in CORPUS:
+            # the correctness corpus misbehaves dynamically by design;
+            # the perf corpus is dynamically clean (static-only cost)
+            assert report.findings, f"{name}: corpus entry must misbehave"
+        _assert_located(report.findings, f"dynamic:{name}")
+
+
+def test_every_static_and_perf_corpus_finding_is_located():
+    for name, cls in {**CORPUS, **PERF_CORPUS}.items():
+        wname = cls().name
+        _assert_located(static_report(cls(), wname).findings,
+                        f"static:{name}")
+        _assert_located(perf_report(cls(), wname).findings, f"perf:{name}")
+
+
+def test_divergence_findings_locate_via_output_keys():
+    # MC-P02/P04-style findings carry no buffer; they resolve through
+    # the outputs.put site recorded in the IR
+    report = check_workload(CORPUS["missing-from"], cross_check=True)
+    _assert_located(report.findings, "missing-from:cross")
+
+
+def test_backfill_is_additive_and_best_effort():
+    ir = extract_workload(CORPUS["leak"](), name="faulty-leak")
+    located = Finding(rule_id="MC-S02", buffer="leaky", message="m",
+                      workload="faulty-leak", source=("x.py", 3))
+    unknown = Finding(rule_id="MC-S02", buffer="no-such-buffer",
+                      message="m", workload="faulty-leak")
+    resolvable = Finding(rule_id="MC-S02", buffer="leaky", message="m",
+                         workload="faulty-leak")
+    n = backfill_sources([located, unknown, resolvable], ir)
+    assert n == 1
+    assert located.source == ("x.py", 3)        # pre-located: untouched
+    assert unknown.source is None               # unresolvable: stays None
+    assert resolvable.source is not None
+    assert resolvable.source[0].endswith("corpus.py")

@@ -86,7 +86,7 @@ def test_every_static_rule_has_a_dynamic_counterpart_and_vice_versa():
 
 def test_corpus_is_complete_and_importable():
     # one entry per canonical defect; all constructible with no args
-    assert len(CORPUS) == 13
+    assert len(CORPUS) == 15
     for name, cls in CORPUS.items():
         w = cls()
         assert w.name.startswith("faulty-"), name
