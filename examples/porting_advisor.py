@@ -20,7 +20,11 @@ describe your app's offload pattern, and the advisor
    being printed, and carries MapCost's predicted per-configuration
    cost delta; defects MapFix cannot mend mechanically come back as
    explicit refusals instead of guesses;
-4. simulates the profile under every runtime configuration and reports
+4. runs **MapPlace** (``repro.check.static.place``) — ranks candidate
+   page placements (first-touch, interleave, pinned) for a 2-socket
+   card by the statically predicted remote-link traffic, so you know
+   the affinity story before buying the bigger card;
+5. simulates the profile under every runtime configuration and reports
    which one wins and what the dominant overhead is.
 
 Four canned profiles are analyzed (a streaming solver, an
@@ -190,6 +194,50 @@ def predict_profile(profile: AppProfile, app_cls=ProfiledApp) -> None:
               f"pays the overhead under {broken}")
 
 
+def rank_placements(profile: AppProfile, app_cls=ProfiledApp) -> None:
+    """MapPlace phase: which page placement minimizes link traffic on a
+    multi-socket card?
+
+    Candidate placements are ranked by the *predicted* remote kernel
+    bytes (then remote fault pages) under Implicit Zero-Copy on a
+    2-socket card — pure static analysis over the same extracted IR,
+    zero simulation events.  The differential
+    (``repro check --place-json``) pins these predictions against the
+    instrumented card telemetry.
+    """
+    from repro.check.static.cost import CostEnv
+    from repro.check.static.extract import ExtractionError, extract_workload
+    from repro.check.static.place import PlaceSpec, predict_place
+    from repro.experiments import render_place_table
+
+    try:
+        ir = extract_workload(app_cls(profile), name=profile.name)
+    except ExtractionError as exc:
+        print(f"  mapplace: extraction failed ({exc}); skipping ranking")
+        return
+    env = CostEnv.for_config(RuntimeConfig.IMPLICIT_ZERO_COPY)
+    candidates = [
+        PlaceSpec(2, "first-touch"),
+        PlaceSpec(2, "interleave"),
+        PlaceSpec(2, "pinned", home=0),
+        PlaceSpec(2, "pinned", home=1),
+    ]
+    ranked = sorted(
+        ((spec, predict_place(ir, env, spec)) for spec in candidates),
+        key=lambda item: (
+            item[1].interval("remote_kernel_bytes").lo,
+            item[1].interval("remote_kernel_bytes").hi is None,
+            item[1].interval("remote_kernel_bytes").hi or 0,
+            item[1].interval("remote_fault_pages").lo,
+        ),
+    )
+    table = render_place_table(profile.name, ranked)
+    print("\n".join("  " + line for line in table.splitlines()))
+    best, _ = ranked[0]
+    print(f"  mapplace: place pages '{best.label()}' when running this "
+          "profile on a multi-socket card")
+
+
 def remediate_profile(profile: AppProfile, app_cls=ProfiledApp) -> None:
     """MapFix phase: suggested remediations, sandbox-verified.
 
@@ -225,6 +273,7 @@ def advise(profile: AppProfile, app_cls=ProfiledApp) -> None:
     portable = lint_profile(profile, app_cls)
     predict_profile(profile, app_cls)
     remediate_profile(profile, app_cls)
+    rank_placements(profile, app_cls)
     times = {}
     details = {}
     for config in ALL_CONFIGS:

@@ -42,6 +42,7 @@ class Analysis(enum.Enum):
     RACES = "race-detector"
     STATIC = "static-dataflow"
     PERF = "perf-lint"
+    PLACE = "place-lint"
 
 
 @dataclass(frozen=True)
@@ -152,6 +153,26 @@ _ALL_RULES = (
          "'target update' moves bytes a zero-copy mapping already shares "
          "with the device: pure overhead outside Copy",
          family="perf-noop-update"),
+    # -- MapPlace: static page-placement / affinity lint
+    # (repro.check.static.place)
+    Rule("MC-A01", "remote-first-touch-storm", Analysis.PLACE, Severity.WARNING,
+         "a kernel's first touch faults a large buffer whose pages the "
+         "placement puts on a remote socket: every XNACK service crosses "
+         "the Infinity Fabric link", family="place-remote-fault"),
+    Rule("MC-A02", "cross-socket-map-churn", Analysis.PLACE, Severity.WARNING,
+         "a map-enter/map-exit pair cycles a remote-placed buffer inside "
+         "a hot loop: each enter re-prefaults pages over the link under "
+         "prefaulting configs", family="place-map-churn"),
+    Rule("MC-A03", "unpinned-hot-buffer", Analysis.PLACE, Severity.WARNING,
+         "a kernel inside a hot loop reads a buffer with remote-placed "
+         "pages under a zero-copy mapping: every iteration pays the "
+         "remote-access penalty instead of pinning the buffer home",
+         family="place-hot-buffer"),
+    Rule("MC-A04", "link-saturating-shadow-copy", Analysis.PLACE,
+         Severity.WARNING,
+         "a copying map-enter sources a large remote-placed buffer: the "
+         "H2D shadow copy streams its bytes over the inter-socket link",
+         family="place-shadow-copy"),
 )
 
 #: rule id -> rule, in stable declaration order

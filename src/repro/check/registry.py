@@ -138,6 +138,12 @@ CANONICAL_MATRICES: Dict[
     "MC-W03": ((_USM, _IZC), (_COPY, _EAGER)),
     "MC-W04": ((_USM,), (_COPY, _IZC, _EAGER)),
     "MC-W05": ((_USM, _IZC, _EAGER), (_COPY,)),
+    # MapPlace affinity lint: "breaks" = pays the remote-link cost there
+    # (place/rules.py derives these from ConfigSemantics × topology)
+    "MC-A01": ((_USM, _IZC), (_COPY, _EAGER)),
+    "MC-A02": ((_COPY, _EAGER), (_USM, _IZC)),
+    "MC-A03": ((_USM, _IZC, _EAGER), (_COPY,)),
+    "MC-A04": ((_COPY,), (_USM, _IZC, _EAGER)),
 }
 
 

@@ -206,6 +206,30 @@ class _Walker:
             self._noted.add(msg)
             self.notes.append(msg)
 
+    # -- subclass hooks ----------------------------------------------------
+    def _fault_bump(
+        self,
+        state: CostState,
+        iv: Interval,
+        site: Optional[AbstractBuffer] = None,
+        global_name: Optional[str] = None,
+    ) -> None:
+        """Every pages-faulted contribution flows through here.  The
+        MapPlace walker overrides it to also split the faulted pages into
+        the remote-link share a placement policy implies; ``site`` /
+        ``global_name`` identify the faulting storage when resolved."""
+        state.bump("pages_faulted", iv)
+
+    def _on_kernel(
+        self,
+        state: CostState,
+        op: TargetOp,
+        sitemap: Dict[int, Optional[AbstractBuffer]],
+    ) -> None:
+        """Called once per kernel-launch bracket, after the fault pass.
+        The MapPlace walker overrides it to count the local/remote pages
+        the launch's map clauses visit."""
+
     # -- size resolution ---------------------------------------------------
     def _site_nbytes(self, site: AbstractBuffer) -> Optional[int]:
         canonical = self.sites.get(site.site, site)
@@ -596,6 +620,7 @@ class _Walker:
         state = self._barrier(state)
         state = self._faults(state, op, sitemap)
         state.bump("kernels", ONE)
+        self._on_kernel(state, op, sitemap)
         if op.nowait:
             if op.handle_id is None:
                 self.note(f"L{op.lineno}: unresolved nowait handle; widening")
@@ -626,7 +651,7 @@ class _Walker:
         for i, clause in enumerate(op.clauses):
             if clause.buf.unknown or clause.buf.weak:
                 self.note("unresolved kernel operand; fault pages widened")
-                state.bump("pages_faulted", Interval(0, None))
+                self._fault_bump(state, Interval(0, None))
                 continue
             site = sitemap.get(i)
             if site is None and len(clause.buf.sites) == 1:
@@ -637,7 +662,7 @@ class _Walker:
                     nbytes = self._site_nbytes(s)
                     t = state.trans.get(s.site, ZERO)
                     iv = self._pages_iv(nbytes, t)
-                    state.bump("pages_faulted", Interval(0, iv.hi))
+                    self._fault_bump(state, Interval(0, iv.hi), site=s)
                     state.trans[s.site] = t.join(ONE)
                 continue
             if site.site not in seen:
@@ -646,19 +671,23 @@ class _Walker:
         for site in fault_sites:
             key = site.site
             nbytes = self._site_nbytes(site)
-            state.bump("pages_faulted", self._pages_iv(nbytes, state.trans.get(key, ZERO)))
+            self._fault_bump(
+                state, self._pages_iv(nbytes, state.trans.get(key, ZERO)), site=site
+            )
             state.trans[key] = ONE
         if self.env.pointer_globals:
             for name in op.globals_used:
                 nbytes = self.ir.global_sizes.get(name)
                 t = state.gtrans.get(name, ZERO)
-                state.bump("pages_faulted", self._pages_iv(nbytes, t))
+                self._fault_bump(
+                    state, self._pages_iv(nbytes, t), global_name=name
+                )
                 state.gtrans[name] = ONE
         clause_sites = {s.site for c in op.clauses for s in c.buf.sites}
         for touch in op.touches:
             if not touch.strong:
                 self.note("unresolved raw-pointer touch; fault pages widened")
-                state.bump("pages_faulted", Interval(0, None))
+                self._fault_bump(state, Interval(0, None))
                 continue
             site = touch.only
             if site.site in clause_sites:
@@ -670,10 +699,10 @@ class _Walker:
             t = state.trans.get(site.site, ZERO)
             iv = self._pages_iv(nbytes, t)
             if rc.hi == 0:  # definitely uncovered: faults for sure
-                state.bump("pages_faulted", iv)
+                self._fault_bump(state, iv, site=site)
                 state.trans[site.site] = ONE
             else:
-                state.bump("pages_faulted", Interval(0, iv.hi))
+                self._fault_bump(state, Interval(0, iv.hi), site=site)
                 state.trans[site.site] = t.join(ONE)
         return state
 

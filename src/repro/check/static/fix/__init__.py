@@ -7,7 +7,7 @@ closes the loop and proposes the edit — never heuristically:
   with explicit refusal preconditions (no speculative edits);
 * :mod:`.edits` — the line-oriented patch representation shared by the
   sandbox rewrite, the ``--fix-out`` diff files and SARIF ``fixes[]``;
-* :mod:`.sandbox` — temp-copy import + full 23-rule re-analysis of
+* :mod:`.sandbox` — temp-copy import + full 27-rule re-analysis of
   every candidate;
 * :mod:`.engine` — the round-based remediation driver with MapCost
   cost-delta ranking and the instrumented dynamic acceptance gate;

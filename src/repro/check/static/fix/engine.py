@@ -7,7 +7,7 @@
 2. for the highest-ranked located finding with a registered synthesizer,
    propose candidate edits (:mod:`.synthesize`);
 3. apply each candidate to a scratch copy, re-import it as a sandbox
-   module and re-run the same 23-rule report (:mod:`.sandbox`); accept
+   module and re-run the same 27-rule report (:mod:`.sandbox`); accept
    only if the target finding disappears *and* zero new findings appear
    (fingerprinted by ``rule:buffer`` — the baseline discipline);
 4. on acceptance, record the fix with its MapCost-predicted per-config

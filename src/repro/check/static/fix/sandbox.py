@@ -3,7 +3,7 @@
 A candidate edit is never trusted on syntactic grounds: the patched
 source is written to a temp file, imported as a sibling module of the
 workload's package (so its relative imports resolve), and the rebuilt
-workload class is pushed through the *same* extraction + 23-rule static
+workload class is pushed through the *same* extraction + 27-rule static
 report + perf lint the original went through — and, at the engine's
 request, through the full instrumented dynamic re-run under every
 runtime configuration.  A fix is only ever accepted on the strength of

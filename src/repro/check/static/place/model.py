@@ -1,0 +1,126 @@
+"""MapPlace model: placement analysis points and the remote-page rule.
+
+A :class:`PlaceSpec` is one (topology, placement) point of the static
+analysis, viewed from the *executing* socket (the socket every host
+thread of the workload is pinned to — the default plan of
+:meth:`repro.multisocket.card.ApuCard.run_workload`).  Its
+:meth:`~PlaceSpec.remote_pages` is the pure placement rule the
+simulator's :class:`~repro.multisocket.topology.PlacementView` follows:
+for a page-aligned allocation of ``P`` pages performed by the executing
+socket, how many of its pages land on a *remote* socket's HBM?
+
+* first-touch — pages land on the allocating socket: 0 remote
+  (exhaustion spill is out of static scope; the differential keeps
+  per-socket HBM large enough that it never triggers);
+* interleave — page ``i`` lands on socket ``i % N``: ``P`` minus the
+  executing socket's stripe count;
+* pinned:<home> — everything on the home socket: 0 if the executing
+  socket *is* home, else all ``P`` pages.
+
+The remote counter keys extend MapCost's bounded tier: the place
+differential requires the measured card telemetry to land inside the
+predicted intervals (HSA/map-op counts stay on the exact tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ....multisocket.topology import PlacementPolicy, Topology, make_placement
+
+__all__ = ["PlaceSpec", "PLACE_BOUNDED_KEYS", "PLACEMENTS"]
+
+#: remote/local counter keys MapPlace adds to MapCost's bounded tier
+PLACE_BOUNDED_KEYS: Tuple[str, ...] = (
+    "remote_fault_pages",
+    "remote_kernel_pages",
+    "local_kernel_pages",
+    "remote_kernel_bytes",
+)
+
+#: placement policy names accepted by ``PlaceSpec`` / ``--placement``
+PLACEMENTS: Tuple[str, ...] = ("first-touch", "interleave", "pinned")
+
+
+@dataclass(frozen=True)
+class PlaceSpec:
+    """One (topology, placement) static-analysis point."""
+
+    n_sockets: int = 2
+    placement: str = "first-touch"
+    home: int = 0        #: home socket of the ``pinned`` policy
+    socket: int = 0      #: the executing socket
+
+    def __post_init__(self):
+        if self.n_sockets < 1:
+            raise ValueError(f"n_sockets must be >= 1, got {self.n_sockets}")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; choose one of "
+                f"{', '.join(PLACEMENTS)}"
+            )
+        if not 0 <= self.socket < self.n_sockets:
+            raise ValueError(
+                f"executing socket {self.socket} on a "
+                f"{self.n_sockets}-socket card"
+            )
+        if self.placement == "pinned" and not 0 <= self.home < self.n_sockets:
+            raise ValueError(
+                f"home socket {self.home} on a {self.n_sockets}-socket card"
+            )
+
+    # -- the placement rule (mirrors multisocket.topology policies) --------
+    def remote_pages(self, n_pages: int) -> int:
+        """Remote-HBM pages of a ``n_pages``-page allocation performed by
+        the executing socket."""
+        if n_pages <= 0 or self.n_sockets == 1:
+            return 0
+        if self.placement == "first-touch":
+            return 0
+        if self.placement == "interleave":
+            if n_pages <= self.socket:
+                return n_pages
+            local = (n_pages - self.socket + self.n_sockets - 1) // self.n_sockets
+            return n_pages - local
+        # pinned
+        return 0 if self.home == self.socket else n_pages
+
+    # -- bridges to the simulator side -------------------------------------
+    def label(self) -> str:
+        name = self.placement
+        if self.placement == "pinned":
+            name = f"pinned:{self.home}"
+        return f"{self.n_sockets}-socket/{name}"
+
+    def placement_spec(self) -> str:
+        """The ``make_placement`` string for the measured side."""
+        if self.placement == "pinned":
+            return f"pinned:{self.home}"
+        return self.placement
+
+    def topology(self) -> Topology:
+        return Topology(n_sockets=self.n_sockets)
+
+    def make_policy(self) -> PlacementPolicy:
+        return make_placement(self.placement_spec())
+
+    @classmethod
+    def parse(cls, n_sockets: int, placement: str, socket: int = 0) -> "PlaceSpec":
+        """Build a spec from CLI-style ``--topology N --placement P``
+        values; ``placement`` accepts ``pinned:<home>``."""
+        home = 0
+        placement = (placement or "first-touch").strip()
+        if placement.startswith("pinned:"):
+            home = int(placement.split(":", 1)[1])
+            placement = "pinned"
+        return cls(
+            n_sockets=n_sockets, placement=placement, home=home, socket=socket
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "n_sockets": self.n_sockets,
+            "placement": self.placement_spec(),
+            "socket": self.socket,
+        }

@@ -10,8 +10,10 @@
     python -m repro table3
     python -m repro all    [--quick] [--out report.txt]
     python -m repro check [workload|all] [--json] [--no-cross] [--rules]
-                          [--static] [--perf] [--no-sim] [--sarif FILE]
-                          [--perf-json FILE] [--baseline FILE]
+                          [--static] [--perf] [--place] [--no-sim]
+                          [--sarif FILE] [--perf-json FILE]
+                          [--place-json FILE] [--topology N]
+                          [--placement SPEC] [--baseline FILE]
                           [--write-baseline FILE] [--jobs N]
                           [--fix-dry-run] [--fix-out DIR] [--fix-json FILE]
     python -m repro bench  [--quick] [--jobs N] [--bench-json BENCH.json]
@@ -23,9 +25,13 @@ all of them) and exits 1 if any finding survives — suitable for CI.
 ``--static`` adds the MapFlow static dataflow analysis; ``--perf`` adds
 the MapCost perf lint (MC-W rules) and ``--perf-json FILE`` writes the
 static-vs-simulated cost differential (predicted HSA call counts must be
-bit-exact); with ``--no-sim`` the static analyses are the only ones and
-no simulation runs at all.  ``--sarif`` writes the findings as SARIF
-2.1.0.  ``--baseline FILE`` suppresses findings whose fingerprints were
+bit-exact); ``--place`` adds the MapPlace affinity lint (MC-A rules) at
+the ``--topology N`` / ``--placement SPEC`` analysis point (placement
+specs: ``first-touch``, ``interleave``, ``pinned:<home>``) and
+``--place-json FILE`` writes the per-socket place differential
+(predicted vs. instrumented multi-socket card telemetry); with
+``--no-sim`` the static analyses are the only ones and no simulation
+runs at all.  ``--sarif`` writes the findings as SARIF 2.1.0.  ``--baseline FILE`` suppresses findings whose fingerprints were
 accepted by an earlier ``--write-baseline FILE`` run (suppressed
 findings stay in SARIF, carrying ``suppressions``).  For ``check all``,
 ``--jobs`` fans the workloads out over a process pool with
@@ -34,7 +40,7 @@ byte-identical output.
 ``--fix-dry-run`` switches ``check`` into MapFix mode: for every faulty
 corpus workload (or one named corpus entry) it synthesizes candidate
 remediations, verifies each in a sandbox (the target finding must
-disappear and zero new findings may appear across the full 23-rule
+disappear and zero new findings may appear across the full 27-rule
 report), ranks accepted fixes by MapCost's predicted per-configuration
 cost delta, and prints the verdicts — nothing in the repo is modified.
 ``--fix-out DIR`` additionally writes one unified-diff patch file per
@@ -214,8 +220,8 @@ def cmd_check(args) -> str:
         return render_rule_table()
     if args.fix_dry_run or args.fix_out or args.fix_json:
         return _check_fix(args)
-    if args.no_sim and not (args.static or args.perf):
-        raise SystemExit("--no-sim requires --static or --perf")
+    if args.no_sim and not (args.static or args.perf or args.place):
+        raise SystemExit("--no-sim requires --static, --perf or --place")
     target = args.workload or "all"
     # recording + 3 differential runs per workload: TEST fidelity keeps
     # `check all` in CI territory
@@ -237,6 +243,18 @@ def cmd_check(args) -> str:
             target, fidelity, cross_check=not args.no_cross,
             static=static, dynamic=dynamic, perf=args.perf,
         )]
+    if args.place:
+        from .check.registry import make_workload
+        from .check.static.place import PlaceSpec, place_report
+
+        spec = PlaceSpec.parse(args.topology, args.placement)
+        names = sorted(workload_names()) if target == "all" else [target]
+        for name in names:
+            rep = place_report(
+                make_workload(name, fidelity), name=name, spec=spec
+            )
+            rep.workload = f"{name}[place:{spec.label()}]"
+            reports.append(rep)
     if args.baseline:
         from .check.baseline import apply_baseline, load_baseline
 
@@ -286,6 +304,19 @@ def cmd_check(args) -> str:
             fh.write("\n")
         print(f"wrote {args.race_json}", file=sys.stderr)
         print(result.render(), file=sys.stderr)
+        if not result.ok:
+            args.exit_code = 1
+    if args.place_json:
+        from .check.static.place import place_differential
+
+        names = sorted(workload_names()) if target == "all" else [target]
+        result = place_differential(names, fidelity=fidelity)
+        with open(args.place_json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.place_json}", file=sys.stderr)
+        # the per-cell table is large; the summary line carries the verdict
+        print(result.render().splitlines()[-1], file=sys.stderr)
         if not result.ok:
             args.exit_code = 1
     if args.sarif:
@@ -381,6 +412,33 @@ def build_parser() -> argparse.ArgumentParser:
         "findings on every clean workload under all four "
         "configurations) and write it as JSON; exits 1 on any "
         "unmatched race or false-positive cell",
+    )
+    parser.add_argument(
+        "--place", action="store_true",
+        help="for 'check': additionally run the MapPlace affinity lint "
+        "(MC-A rules: remote first-touch storms, cross-socket map churn, "
+        "unpinned hot buffers, link-saturating shadow copies) at the "
+        "--topology/--placement analysis point — static, no simulation "
+        "needed",
+    )
+    parser.add_argument(
+        "--place-json", default=None, metavar="FILE",
+        help="for 'check': run the MapPlace differential (per-socket "
+        "predicted counters vs. instrumented multi-socket card telemetry "
+        "for every workload x config x (topology, placement) point, plus "
+        "the MC-A false-positive gate on the clean registry) and write "
+        "it as JSON; exits 1 on any mismatch",
+    )
+    parser.add_argument(
+        "--topology", type=int, default=2, metavar="N",
+        help="for 'check' --place: socket count of the analysis point "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--placement", default="first-touch", metavar="SPEC",
+        help="for 'check' --place: placement policy of the analysis "
+        "point — first-touch, interleave, or pinned:<home> "
+        "(default: first-touch)",
     )
     parser.add_argument(
         "--no-sim", action="store_true",

@@ -88,6 +88,11 @@ class Kfd:
         #: real systems has high variance: interrupt coalescing, page-table
         #: walk contention).  Set by ApuSystem when noise is enabled.
         self.stall_jitter = None
+        #: optional ``(installed_frames, stall_us) -> stall_us`` hook: the
+        #: multi-socket card charges the Infinity Fabric surcharge for
+        #: faults resolved to a remote socket's frames here.  ``None`` (the
+        #: default) keeps the single-socket cost path byte-identical.
+        self.fault_cost_adjuster = None
         self.page_size = cost.page_size
         self._pool_cursor = DEVICE_POOL_BASE
         # counters
@@ -124,6 +129,7 @@ class Kfd:
         matrix (Eager Maps must have prefaulted everything).
         """
         n = 0
+        installed: List[int] = []
         for rng in ranges:
             for gap in self.gpu_pt.missing_runs(rng):
                 if not self.xnack_enabled:
@@ -132,6 +138,8 @@ class Kfd:
                         "with XNACK disabled"
                     )
                 frames = self._cpu_frames(gap, "GPU touched page")
+                if self.fault_cost_adjuster is not None:
+                    installed.extend(frames)
                 n += self.gpu_pt.install_range(
                     gap, frames, MapOrigin.XNACK_REPLAY
                 )
@@ -141,6 +149,8 @@ class Kfd:
             stall = self.cost.xnack_kernel_entry_us + n * self.cost.xnack_fault_us_per_page
             if self.stall_jitter is not None:
                 stall = self.stall_jitter.apply(stall)
+            if self.fault_cost_adjuster is not None:
+                stall = self.fault_cost_adjuster(installed, stall)
         return FaultResult(n, stall)
 
     def count_missing_pages(self, ranges: List[AddressRange]) -> int:

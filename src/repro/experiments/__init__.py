@@ -11,6 +11,7 @@ from .figures import (
 )
 from .report import (
     render_cost_table,
+    render_place_table,
     render_fig3,
     render_fig4,
     render_table1,
@@ -61,6 +62,7 @@ __all__ = [
     "run_cells",
     "write_bench",
     "render_cost_table",
+    "render_place_table",
     "render_fig3",
     "render_fig4",
     "render_table1",

@@ -83,6 +83,11 @@ def cell_digest(cell: ExperimentCell) -> str:
         "metric": cell.metric,
         "noise": bool(cell.noise),
         "cost": cost.describe(),
+        # multi-socket card cells: socket count + placement spec join the
+        # digest (alongside engine/engine_version above) so a card entry
+        # can never alias a plain single-system entry or another topology
+        "topology": getattr(cell, "topology", None),
+        "placement": getattr(cell, "placement", None),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -15,6 +15,7 @@ from .tables import PAPER_TABLE2, Table1Result, Table2Result, Table3Result
 
 __all__ = [
     "render_cost_table",
+    "render_place_table",
     "render_fig3",
     "render_fig4",
     "render_table1",
@@ -135,6 +136,37 @@ def render_cost_table(name: str, predictions) -> str:
             continue
         lines.append(
             "  " + f"{key:<20}" + "".join(f"{iv!r:>16}" for iv in ivs)
+        )
+    return "\n".join(lines)
+
+
+def render_place_table(name: str, rankings) -> str:
+    """MapPlace placement ranking, one row per candidate placement.
+
+    ``rankings`` is a sequence of ``(PlaceSpec, prediction)`` pairs
+    (best — fewest predicted remote bytes — first, as produced by the
+    porting advisor's placement phase from ``predict_place``; zero
+    simulation events).
+    """
+    width = 24 + 3 * 18
+    lines = [
+        f"MapPlace placement ranking — {name} (static, no simulation)",
+        _rule(width),
+        "  " + f"{'placement':<22}"
+        + f"{'remote kernel MiB':>18}{'remote faults':>18}{'local pages':>18}",
+    ]
+    for spec, pred in rankings:
+        rkb = pred.interval("remote_kernel_bytes")
+        rfp = pred.interval("remote_fault_pages")
+        lkp = pred.interval("local_kernel_pages")
+        mib = (
+            f"={rkb.lo / (1 << 20):.1f}" if rkb.is_exact
+            else f"[{rkb.lo / (1 << 20):.1f},"
+            + ("inf]" if rkb.hi is None else f"{rkb.hi / (1 << 20):.1f}]")
+        )
+        lines.append(
+            "  " + f"{spec.label():<22}"
+            + f"{mib:>18}{rfp!r:>18}{lkp!r:>18}"
         )
     return "\n".join(lines)
 

@@ -1,5 +1,26 @@
-"""Multi-socket APU card composition (paper §III.A)."""
+"""Multi-socket APU card composition (paper §III.A + Inter-APU model)."""
 
 from .card import ApuCard, CardResult, SocketSystem, frame_owner
+from .topology import (
+    FirstTouch,
+    Interleave,
+    PinnedHome,
+    PlacementPolicy,
+    PlacementView,
+    Topology,
+    make_placement,
+)
 
-__all__ = ["ApuCard", "CardResult", "SocketSystem", "frame_owner"]
+__all__ = [
+    "ApuCard",
+    "CardResult",
+    "SocketSystem",
+    "frame_owner",
+    "Topology",
+    "PlacementPolicy",
+    "PlacementView",
+    "FirstTouch",
+    "Interleave",
+    "PinnedHome",
+    "make_placement",
+]

@@ -1,4 +1,4 @@
-"""Multi-socket APU card model (paper §III.A).
+"""Multi-socket APU card model (paper §III.A + Inter-APU deep dive).
 
 "APU sockets can be composed together in a multi-socket accelerator card,
 where either CPU or GPU threads on a socket can access memory located in
@@ -13,17 +13,28 @@ patterns of §III.A can be studied:
   penalty.
 
 Model: one shared process address space (one CPU page table, one
-simulation clock), per-socket HBM frame pools with first-touch NUMA
-placement, and one GPU device (page table, driver, HSA runtime, OpenMP
-runtime) per socket.  A kernel's compute time is scaled by the fraction
-of its mapped pages whose frames live on a remote socket
-(``remote_access_penalty``).
+simulation clock), per-socket HBM frame pools behind a pluggable
+page-placement policy (first-touch, interleave, pinned-home — see
+:mod:`repro.multisocket.topology`), and one GPU device (page table,
+driver, HSA runtime, OpenMP runtime) per socket.  A kernel's compute
+time is scaled by the fraction of its mapped pages whose frames live on
+a remote socket (``remote_access_penalty``), and XNACK faults that
+resolve to a remote socket's frames pay an extra per-page stall derived
+from the :class:`~repro.multisocket.topology.Topology` link parameters
+(via the driver's ``fault_cost_adjuster`` hook).
+
+The card keeps per-socket telemetry — remote fault pages, remote/local
+kernel page visits — that the static MapPlace analysis
+(:mod:`repro.check.static.place`) predicts and the place differential
+checks.  A 1-socket card under the default first-touch placement is
+bit-identical to a plain :class:`~repro.core.system.ApuSystem` run
+(pinned by ``tests/test_multisocket.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.config import RuntimeConfig
 from ..core.params import CostModel
@@ -32,48 +43,27 @@ from ..hsa.api import HsaRuntime
 from ..memory.layout import HOST_HEAP_BASE, HOST_STACK_BASE, AddressRange
 from ..memory.os_alloc import OsAllocator
 from ..memory.pagetable import PageTable
-from ..memory.physical import PhysicalMemory
 from ..omp.api import OmpThread
 from ..omp.mapping import MapClause
 from ..omp.runtime import OpenMPRuntime
 from ..sim import Environment, RngHub
 from ..trace.hsa_trace import HsaTrace
+from ..trace.kernel_trace import RunLedger
+from .topology import (
+    PlacementPolicy,
+    PlacementView,
+    Topology,
+    _SocketMemory,
+    frame_owner,
+    make_placement,
+)
 
-__all__ = ["ApuCard", "SocketSystem", "CardResult"]
+__all__ = ["ApuCard", "SocketSystem", "CardResult", "frame_owner"]
 
 #: VA window stride between sockets' OS allocators (they share one
 #: process address space but carve disjoint arenas, like NUMA-aware
 #: allocators do)
 _VA_STRIDE = 1 << 42
-
-#: frame-id stride marking socket ownership
-_FRAME_STRIDE = 1 << 30
-
-
-class _SocketMemory(PhysicalMemory):
-    """Per-socket HBM pool issuing globally-unique, owner-tagged frames."""
-
-    def __init__(self, socket: int, total_bytes: int, frame_bytes: int):
-        super().__init__(total_bytes=total_bytes, frame_bytes=frame_bytes)
-        self.socket = socket
-        self._tag = socket * _FRAME_STRIDE
-
-    def alloc_frame(self) -> int:
-        return super().alloc_frame() + self._tag
-
-    def free_frame(self, frame: int) -> None:
-        super().free_frame(frame - self._tag)
-
-    def alloc_frames(self, count: int) -> List[int]:
-        return [f + self._tag for f in super().alloc_frames(count)]
-
-    def free_frames(self, frames: List[int]) -> None:
-        super().free_frames([f - self._tag for f in frames])
-
-
-def frame_owner(frame: int) -> int:
-    """Which socket's HBM a frame belongs to."""
-    return frame // _FRAME_STRIDE
 
 
 @dataclass
@@ -102,6 +92,12 @@ class CardResult:
     per_socket_traces: List[HsaTrace]
     per_socket_kernels: List[int]
     remote_page_fraction: float  #: mean over kernel launches
+    per_socket_ledgers: List[RunLedger] = field(default_factory=list)
+    #: per-socket counter dicts (driver counters + remote telemetry);
+    #: the measured side of the MapPlace differential
+    per_socket_counters: List[Dict[str, int]] = field(default_factory=list)
+    outputs: Dict[str, object] = field(default_factory=dict)
+    sim_events: int = 0
 
     def merged_trace(self) -> HsaTrace:
         out = HsaTrace()
@@ -109,9 +105,19 @@ class CardResult:
             out = out.merge(tr)
         return out
 
+    @property
+    def remote_kernel_bytes(self) -> int:
+        return sum(c.get("remote_kernel_bytes", 0) for c in self.per_socket_counters)
+
 
 class ApuCard:
-    """An ``n_sockets``-socket MI300A card in one shared address space."""
+    """An N-socket MI300A card in one shared address space.
+
+    ``topology`` (when given) wins over the ``n_sockets`` count;
+    ``placement`` is a :class:`PlacementPolicy` or spec string
+    (default first-touch, which reproduces the historical behavior);
+    ``remote_access_penalty`` defaults to the topology's value.
+    """
 
     def __init__(
         self,
@@ -119,25 +125,50 @@ class ApuCard:
         cost: Optional[CostModel] = None,
         seed: int = 0,
         hbm_per_socket: Optional[int] = None,
-        remote_access_penalty: float = 0.45,
+        remote_access_penalty: Optional[float] = None,
+        topology: Optional[Topology] = None,
+        placement: Union[PlacementPolicy, str, None] = None,
     ):
-        if n_sockets < 1:
-            raise ValueError(f"n_sockets must be >= 1, got {n_sockets}")
+        if topology is None:
+            topology = Topology(n_sockets=n_sockets)
+        if topology.n_sockets < 1:
+            raise ValueError(f"n_sockets must be >= 1, got {topology.n_sockets}")
+        if isinstance(placement, str) or placement is None:
+            placement = make_placement(placement or "first-touch")
         self.cost = cost or CostModel()
-        self.n_sockets = n_sockets
-        self.remote_access_penalty = remote_access_penalty
+        self.topology = topology
+        self.placement = placement
+        self.n_sockets = topology.n_sockets
+        self.remote_access_penalty = (
+            topology.remote_access_penalty
+            if remote_access_penalty is None
+            else remote_access_penalty
+        )
         self.env = Environment()
         self.rng_hub = RngHub(seed)
         # one process: one CPU page table shared by every socket's cores
         self.cpu_pt = PageTable(self.cost.page_size, "cpu-pt")
         hbm = hbm_per_socket or self.cost.hbm_bytes
+        # per-socket HBM pools first, so every socket's PlacementView can
+        # route allocations across all of them
+        pools = [
+            _SocketMemory(s, hbm, self.cost.page_size)
+            for s in range(self.n_sockets)
+        ]
+        # per-socket telemetry (the measured side of MapPlace)
+        self.remote_fault_pages = [0] * self.n_sockets
+        self.remote_kernel_pages = [0] * self.n_sockets
+        self.local_kernel_pages = [0] * self.n_sockets
         self.sockets: List[SocketSystem] = []
-        for s in range(n_sockets):
-            physical = _SocketMemory(s, hbm, self.cost.page_size)
+        for s in range(self.n_sockets):
+            physical = pools[s]
             gpu_pt = PageTable(self.cost.page_size, f"gpu-pt[{s}]")
+            # the device pool (Copy's shadow allocations) stays on the
+            # socket's own HBM: only host memory is placement-routed
             driver = Kfd(self.cost, physical, self.cpu_pt, gpu_pt)
+            driver.fault_cost_adjuster = self._make_fault_adjuster(s)
             os_alloc = OsAllocator(
-                physical,
+                PlacementView(s, pools, self.placement),
                 self.cpu_pt,
                 on_unmap=self._shootdown_all,
                 heap_base=HOST_HEAP_BASE + s * _VA_STRIDE,
@@ -163,6 +194,21 @@ class ApuCard:
             sock.driver.mmu_unmap(rng)
 
     # ------------------------------------------------------------------
+    def _make_fault_adjuster(self, socket: int) -> Callable:
+        """XNACK services that resolve to a remote socket's frames pay
+        the Infinity Fabric surcharge (link round trip + page transfer
+        over the link) on top of the base fault cost."""
+        extra = self.topology.fault_extra_us_per_page(self.cost.page_size)
+
+        def adjust(installed_frames: Sequence[int], stall_us: float) -> float:
+            n_remote = sum(1 for f in installed_frames if frame_owner(f) != socket)
+            if n_remote:
+                self.remote_fault_pages[socket] += n_remote
+                stall_us += n_remote * extra
+            return stall_us
+
+        return adjust
+
     def _make_adjuster(self, socket: int) -> Callable:
         def adjust(maps: Sequence[MapClause], compute_us: float) -> float:
             remote = local = 0
@@ -175,6 +221,8 @@ class ApuCard:
                         local += 1
                     else:
                         remote += 1
+            self.remote_kernel_pages[socket] += remote
+            self.local_kernel_pages[socket] += local
             total = remote + local
             if total == 0:
                 return compute_us
@@ -184,6 +232,16 @@ class ApuCard:
 
         return adjust
 
+    # ------------------------------------------------------------------
+    def _setup(self, config: RuntimeConfig) -> List[OpenMPRuntime]:
+        """Fresh per-socket OpenMP runtimes with kernel adjusters installed."""
+        self._runtimes = [
+            OpenMPRuntime(sock, config) for sock in self.sockets
+        ]
+        for s, rt in enumerate(self._runtimes):
+            rt.kernel_cost_adjuster = self._make_adjuster(s)
+        return self._runtimes
+
     def run(
         self,
         thread_plan: Sequence[Tuple[int, Callable]],
@@ -191,14 +249,44 @@ class ApuCard:
     ) -> CardResult:
         """Run ``(socket, body)`` pairs: each body is an OpenMP host
         thread pinned to a socket, offloading to that socket's GPU."""
+        self._setup(config)
+        return self._run(thread_plan, config)
+
+    def run_workload(
+        self,
+        workload,
+        config: RuntimeConfig = RuntimeConfig.IMPLICIT_ZERO_COPY,
+        plan: Optional[Sequence[int]] = None,
+    ) -> CardResult:
+        """Run a registry :class:`~repro.workloads.base.Workload` on the
+        card: ``plan[tid]`` pins host thread ``tid`` to a socket
+        (default: everything on socket 0, the executing socket of the
+        MapPlace differential).  Workload ``prepare`` (declare-target
+        globals) flows through the first planned socket's runtime, so
+        global allocations see the placement policy too.
+        """
+        if plan is None:
+            plan = [0] * max(1, workload.n_threads)
+        plan = list(plan)
+        if not plan:
+            raise ValueError("empty socket plan")
+        self._setup(config)
+        prepare = getattr(workload, "prepare", None)
+        if prepare is not None:
+            prepare(self._runtimes[plan[0]])
+        body = workload.make_body()
+        result = self._run([(s, body) for s in plan], config)
+        result.outputs = dict(workload.outputs.values)
+        return result
+
+    def _run(
+        self,
+        thread_plan: Sequence[Tuple[int, Callable]],
+        config: RuntimeConfig,
+    ) -> CardResult:
         for socket, _ in thread_plan:
             if not 0 <= socket < self.n_sockets:
                 raise ValueError(f"no socket {socket} on a {self.n_sockets}-socket card")
-        self._runtimes = [
-            OpenMPRuntime(sock, config) for sock in self.sockets
-        ]
-        for s, rt in enumerate(self._runtimes):
-            rt.kernel_cost_adjuster = self._make_adjuster(s)
         env = self.env
         t0 = env.now
         threads_per_socket: Dict[int, int] = {}
@@ -234,4 +322,22 @@ class ApuCard:
             per_socket_traces=[s.hsa_trace for s in self.sockets],
             per_socket_kernels=[rt.ledger.n_kernels for rt in self._runtimes],
             remote_page_fraction=(sum(samples) / len(samples)) if samples else 0.0,
+            per_socket_ledgers=[rt.ledger for rt in self._runtimes],
+            per_socket_counters=self._counters(),
+            sim_events=env.processed_events,
         )
+
+    def _counters(self) -> List[Dict[str, int]]:
+        out: List[Dict[str, int]] = []
+        for s, sock in enumerate(self.sockets):
+            out.append({
+                "pages_prefaulted": sock.driver.pages_prefaulted,
+                "pages_faulted": sock.driver.xnack_faults_serviced,
+                "pages_bulk_mapped": sock.driver.pages_bulk_mapped,
+                "remote_fault_pages": self.remote_fault_pages[s],
+                "remote_kernel_pages": self.remote_kernel_pages[s],
+                "local_kernel_pages": self.local_kernel_pages[s],
+                "remote_kernel_bytes":
+                    self.remote_kernel_pages[s] * self.cost.page_size,
+            })
+        return out

@@ -1,0 +1,317 @@
+"""N-socket card topology and page-placement policies (Inter-APU model).
+
+The paper's experiments are single-socket; the Inter-APU deep dive
+(Schieffer et al., PAPERS.md) characterizes what dominates once several
+MI300A sockets share one address space: Infinity Fabric link traffic,
+remote-socket XNACK fault service, and page placement.  This module
+holds the pieces the :class:`~repro.multisocket.card.ApuCard` composes:
+
+* :class:`Topology` — socket count plus per-link bandwidth/latency
+  parameters, from which the distinct remote-fault stall cost is
+  derived (a remote XNACK service pays the link round trip plus the
+  page transfer over the link);
+* :class:`_SocketMemory` — per-socket HBM frame pool issuing
+  globally-unique, owner-tagged frames (``frame_owner`` recovers the
+  socket from a frame id);
+* placement policies (:class:`FirstTouch`, :class:`Interleave`,
+  :class:`PinnedHome`) deciding which socket's pool backs each page of
+  a host allocation, and :class:`PlacementView`, the
+  ``PhysicalMemory``-shaped facade that routes one socket's OS
+  allocator through the per-socket pools according to a policy —
+  including cross-socket frees (each frame returns to its owner's
+  pool) and first-touch spill when one socket's HBM is exhausted.
+
+Placement is deliberately a pure function of ``(policy, allocating
+socket, page index, socket count)``: the static MapPlace analysis
+(:mod:`repro.check.static.place`) predicts remote-page counts from
+exactly this rule, and the place differential holds the two sides to
+each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..memory.physical import OutOfMemoryError, PhysicalMemory
+
+__all__ = [
+    "Topology",
+    "PlacementPolicy",
+    "FirstTouch",
+    "Interleave",
+    "PinnedHome",
+    "PlacementView",
+    "make_placement",
+    "frame_owner",
+]
+
+#: frame-id stride marking socket ownership
+_FRAME_STRIDE = 1 << 30
+
+
+def frame_owner(frame: int) -> int:
+    """Which socket's HBM a frame belongs to."""
+    return frame // _FRAME_STRIDE
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Geometry and Infinity Fabric link parameters of an N-socket card.
+
+    ``remote_fault_extra_us_per_page`` overrides the derived per-page
+    stall surcharge a remote-socket XNACK service pays; when ``None``
+    it is computed from the link parameters (one round trip of link
+    latency plus moving the page's translation+data over the link).
+    """
+
+    n_sockets: int = 2
+    link_bandwidth_gbps: float = 64.0       #: per-direction link GB/s
+    link_latency_us: float = 0.8            #: one-way link latency
+    remote_access_penalty: float = 0.45     #: kernel slowdown at 100% remote
+    remote_fault_extra_us_per_page: Optional[float] = None
+
+    def __post_init__(self):
+        if self.n_sockets < 1:
+            raise ValueError(f"n_sockets must be >= 1, got {self.n_sockets}")
+        if self.link_bandwidth_gbps <= 0 or self.link_latency_us < 0:
+            raise ValueError("invalid link parameters")
+        if self.remote_access_penalty < 0:
+            raise ValueError("remote_access_penalty must be >= 0")
+
+    def fault_extra_us_per_page(self, page_bytes: int) -> float:
+        """Per-page stall surcharge for XNACK service of a remote frame."""
+        if self.remote_fault_extra_us_per_page is not None:
+            return self.remote_fault_extra_us_per_page
+        # 1 GB/s == 1e3 bytes/us
+        transfer = page_bytes / (self.link_bandwidth_gbps * 1e3)
+        return 2.0 * self.link_latency_us + transfer
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "n_sockets": self.n_sockets,
+            "link_bandwidth_gbps": self.link_bandwidth_gbps,
+            "link_latency_us": self.link_latency_us,
+            "remote_access_penalty": self.remote_access_penalty,
+            "remote_fault_extra_us_per_page": self.remote_fault_extra_us_per_page,
+        }
+
+
+class _SocketMemory(PhysicalMemory):
+    """Per-socket HBM pool issuing globally-unique, owner-tagged frames.
+
+    Frees are validated against the tag: handing a foreign socket's
+    frame to this pool is a routing bug upstream (the
+    :class:`PlacementView` routes mixed-owner batches), not something
+    to absorb silently.
+    """
+
+    def __init__(self, socket: int, total_bytes: int, frame_bytes: int):
+        super().__init__(total_bytes=total_bytes, frame_bytes=frame_bytes)
+        self.socket = socket
+        self._tag = socket * _FRAME_STRIDE
+
+    def alloc_frame(self) -> int:
+        return super().alloc_frame() + self._tag
+
+    def free_frame(self, frame: int) -> None:
+        if frame_owner(frame) != self.socket:
+            raise ValueError(
+                f"frame {frame} belongs to socket {frame_owner(frame)}, "
+                f"not socket {self.socket}"
+            )
+        super().free_frame(frame - self._tag)
+
+    def alloc_frames(self, count: int) -> List[int]:
+        return [f + self._tag for f in super().alloc_frames(count)]
+
+    def free_frames(self, frames: List[int]) -> None:
+        for f in frames:
+            if frame_owner(f) != self.socket:
+                raise ValueError(
+                    f"frame {f} belongs to socket {frame_owner(f)}, "
+                    f"not socket {self.socket}"
+                )
+        super().free_frames([f - self._tag for f in frames])
+
+
+# ---------------------------------------------------------------------------
+# placement policies
+# ---------------------------------------------------------------------------
+
+
+class PlacementPolicy:
+    """Decides which socket's HBM backs each page of a host allocation."""
+
+    name = "?"
+    #: whether an exhausted owner socket may spill to the next socket
+    spill = True
+
+    def plan(self, socket: int, count: int, n_sockets: int) -> List[int]:
+        """Owner socket for each page index of one ``count``-page
+        allocation performed by ``socket``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class FirstTouch(PlacementPolicy):
+    """NUMA first-touch: pages land on the allocating socket's HBM,
+    spilling to the next socket (in id order) only on exhaustion."""
+
+    name = "first-touch"
+
+    def plan(self, socket: int, count: int, n_sockets: int) -> List[int]:
+        return [socket] * count
+
+
+class Interleave(PlacementPolicy):
+    """Round-robin page striping across all sockets, starting at socket
+    0 for every allocation — page ``i`` lands on socket ``i % N``,
+    independent of who allocates (deterministic, statically exact)."""
+
+    name = "interleave"
+
+    def plan(self, socket: int, count: int, n_sockets: int) -> List[int]:
+        return [i % n_sockets for i in range(count)]
+
+
+class PinnedHome(PlacementPolicy):
+    """Every page lands on one fixed home socket; exhaustion is an
+    error (pinned means pinned — there is no spill)."""
+
+    name = "pinned"
+    spill = False
+
+    def __init__(self, home: int = 0):
+        if home < 0:
+            raise ValueError(f"home socket must be >= 0, got {home}")
+        self.home = home
+
+    def plan(self, socket: int, count: int, n_sockets: int) -> List[int]:
+        if self.home >= n_sockets:
+            raise ValueError(
+                f"home socket {self.home} on a {n_sockets}-socket card"
+            )
+        return [self.home] * count
+
+    def describe(self) -> str:
+        return f"pinned:{self.home}"
+
+
+def make_placement(spec: str) -> PlacementPolicy:
+    """Parse a placement spec: ``first-touch``, ``interleave``,
+    ``pinned`` or ``pinned:<home>``."""
+    spec = (spec or "first-touch").strip()
+    if spec == FirstTouch.name:
+        return FirstTouch()
+    if spec == Interleave.name:
+        return Interleave()
+    if spec == PinnedHome.name:
+        return PinnedHome(0)
+    if spec.startswith(PinnedHome.name + ":"):
+        return PinnedHome(int(spec.split(":", 1)[1]))
+    raise ValueError(
+        f"unknown placement {spec!r}; choose first-touch, interleave, "
+        "or pinned[:<home>]"
+    )
+
+
+class PlacementView:
+    """``PhysicalMemory``-shaped facade for one socket's OS allocator.
+
+    Allocations are routed across the per-socket pools according to the
+    placement policy (frames come back in page order, so page ``i`` of
+    the allocation is backed by the policy's owner for index ``i``);
+    frees route every frame back to its owner's pool regardless of who
+    frees — the cross-socket ``free_frames`` case a bare
+    :class:`_SocketMemory` rejects.
+    """
+
+    def __init__(
+        self,
+        socket: int,
+        pools: Sequence[_SocketMemory],
+        policy: PlacementPolicy,
+    ):
+        self.socket = socket
+        self.pools = list(pools)
+        self.policy = policy
+
+    # -- allocation ---------------------------------------------------------
+    def alloc_frames(self, count: int) -> List[int]:
+        if count < 0:
+            raise ValueError(f"negative frame count: {count}")
+        owners = self.policy.plan(self.socket, count, len(self.pools))
+        by_owner: Dict[int, List[int]] = {}
+        for i, owner in enumerate(owners):
+            by_owner.setdefault(owner, []).append(i)
+        frames: List[int] = [0] * count
+        taken: List[int] = []
+        try:
+            for owner in sorted(by_owner):
+                idxs = by_owner[owner]
+                got = self._take(owner, len(idxs))
+                taken.extend(got)
+                for i, frame in zip(idxs, got):
+                    frames[i] = frame
+        except OutOfMemoryError:
+            # a failed allocation is atomic: return every frame an
+            # earlier owner group already handed out
+            self.free_frames(taken)
+            raise
+        return frames
+
+    def alloc_frame(self) -> int:
+        return self.alloc_frames(1)[0]
+
+    def _take(self, owner: int, count: int) -> List[int]:
+        pool = self.pools[owner]
+        if pool.frames_free >= count or not self.policy.spill:
+            return pool.alloc_frames(count)
+        # first-touch spill: drain the owner, then the next sockets in
+        # id order — capacity elsewhere must not fail the allocation
+        got = pool.alloc_frames(pool.frames_free)
+        need = count - len(got)
+        for step in range(1, len(self.pools)):
+            nxt = self.pools[(owner + step) % len(self.pools)]
+            take = min(need, nxt.frames_free)
+            if take:
+                got.extend(nxt.alloc_frames(take))
+                need -= take
+            if not need:
+                break
+        if need:
+            # roll the partial drain back before failing: an allocation
+            # that raises must leave the pools exactly as it found them
+            self.free_frames(got)
+            raise OutOfMemoryError(
+                f"all {len(self.pools)} socket pools exhausted "
+                f"({need} of {count} frames short)"
+            )
+        return got
+
+    # -- release ------------------------------------------------------------
+    def free_frames(self, frames: List[int]) -> None:
+        by_owner: Dict[int, List[int]] = {}
+        for f in frames:
+            by_owner.setdefault(frame_owner(f), []).append(f)
+        for owner in sorted(by_owner):
+            if not 0 <= owner < len(self.pools):
+                raise ValueError(
+                    f"frame {by_owner[owner][0]} owned by unknown socket {owner}"
+                )
+            self.pools[owner].free_frames(by_owner[owner])
+
+    def free_frame(self, frame: int) -> None:
+        self.free_frames([frame])
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def frames_free(self) -> int:
+        return sum(p.frames_free for p in self.pools)
+
+    @property
+    def frames_in_use(self) -> int:
+        return sum(p.frames_in_use for p in self.pools)

@@ -39,6 +39,7 @@ def test_rule_ids_are_stable():
         "MC-S10", "MC-S11", "MC-S12", "MC-P10",
         "MC-S20", "MC-S21", "MC-S22",
         "MC-W01", "MC-W02", "MC-W03", "MC-W04", "MC-W05",
+        "MC-A01", "MC-A02", "MC-A03", "MC-A04",
     }
 
 
@@ -57,6 +58,9 @@ def test_rules_partition_across_the_four_analyses():
     ]
     assert by_analysis[Analysis.PERF] == [
         "MC-W01", "MC-W02", "MC-W03", "MC-W04", "MC-W05"
+    ]
+    assert by_analysis[Analysis.PLACE] == [
+        "MC-A01", "MC-A02", "MC-A03", "MC-A04"
     ]
 
 

@@ -4,8 +4,19 @@ import numpy as np
 import pytest
 
 from repro.core import RuntimeConfig
+from repro.core.config import ALL_CONFIGS
 from repro.memory import MIB, PAGE_2M
-from repro.multisocket import ApuCard, frame_owner
+from repro.memory.physical import OutOfMemoryError
+from repro.multisocket import (
+    ApuCard,
+    FirstTouch,
+    Interleave,
+    PinnedHome,
+    PlacementView,
+    Topology,
+    frame_owner,
+)
+from repro.multisocket.topology import _SocketMemory
 from repro.omp import MapClause, MapKind
 
 
@@ -151,3 +162,185 @@ def test_sockets_run_concurrently():
                   (1, simple_body(kernels=10, compute_us=2000.0))])
     # same total work; two sockets at least as fast (more GPU capacity)
     assert two <= one + 1.0
+
+
+# ---------------------------------------------------------------------------
+# degenerate pin: a 1-socket card IS a plain ApuSystem
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.value)
+def test_one_socket_card_matches_plain_system(config):
+    from repro.check.registry import make_workload
+    from repro.core.params import CostModel
+    from repro.core.system import ApuSystem
+    from repro.omp.runtime import OpenMPRuntime
+    from repro.workloads import Fidelity
+
+    card = ApuCard(n_sockets=1, seed=0)
+    card_res = card.run_workload(make_workload("triad", Fidelity.TEST), config)
+
+    plain_wl = make_workload("triad", Fidelity.TEST)
+    system = ApuSystem(cost=CostModel(), seed=0)
+    runtime = OpenMPRuntime(system, config)
+    prepare = getattr(plain_wl, "prepare", None)
+    if prepare is not None:
+        prepare(runtime)
+    runtime.run(
+        plain_wl.make_body(),
+        n_threads=plain_wl.n_threads,
+        outputs=plain_wl.outputs.values,
+    )
+
+    tr_card, tr_plain = card_res.per_socket_traces[0], system.hsa_trace
+    assert {n: tr_card.count(n) for n in tr_card.names()} == {
+        n: tr_plain.count(n) for n in tr_plain.names()
+    }
+    assert {n: tr_card.total_us(n) for n in tr_card.names()} == {
+        n: tr_plain.total_us(n) for n in tr_plain.names()
+    }
+    assert card_res.per_socket_ledgers[0].summary() == runtime.ledger.summary()
+    assert set(card_res.outputs) == set(plain_wl.outputs.values)
+    for key, val in plain_wl.outputs.values.items():
+        assert np.array_equal(card_res.outputs[key], val), key
+    assert card_res.remote_page_fraction == 0.0
+
+
+# ---------------------------------------------------------------------------
+# placement policies through the card
+# ---------------------------------------------------------------------------
+
+
+def _page_owners(card, buf, n_pages):
+    return [
+        frame_owner(card.cpu_pt.lookup(page).frame)
+        for page in list(buf.range.pages(PAGE_2M))[:n_pages]
+    ]
+
+
+def test_interleave_stripes_pages_across_sockets():
+    card = ApuCard(n_sockets=2, placement="interleave")
+    owners = {}
+
+    def body(th, tid):
+        x = yield from th.alloc("x", 4 * PAGE_2M, payload=np.zeros(4))
+        owners["x"] = _page_owners(card, x, 4)
+        yield from th.target("k", 10.0, maps=[MapClause(x, MapKind.TOFROM)])
+
+    res = card.run([(0, body)])
+    assert owners["x"] == [0, 1, 0, 1]
+    # half of the kernel's pages were remote to socket 0
+    assert res.remote_page_fraction == 0.5
+    assert res.per_socket_counters[0]["remote_kernel_pages"] == 2
+    assert res.per_socket_counters[0]["local_kernel_pages"] == 2
+
+
+def test_pinned_home_places_everything_remote():
+    card = ApuCard(n_sockets=2, placement="pinned:1")
+    owners = {}
+
+    def body(th, tid):
+        x = yield from th.alloc("x", 4 * PAGE_2M, payload=np.zeros(4))
+        owners["x"] = _page_owners(card, x, 4)
+        yield from th.target("k", 10.0, maps=[MapClause(x, MapKind.TOFROM)])
+
+    res = card.run([(0, body)])
+    assert owners["x"] == [1, 1, 1, 1]
+    assert res.remote_page_fraction == 1.0
+    assert res.per_socket_counters[0]["remote_kernel_pages"] == 4
+
+
+def test_remote_fault_surcharge_slows_zero_copy():
+    def run(placement):
+        card = ApuCard(n_sockets=2, placement=placement)
+
+        def body(th, tid):
+            x = yield from th.alloc("x", 8 * PAGE_2M, payload=np.ones(8))
+            yield from th.target(
+                "k", 100.0,
+                maps=[MapClause(x, MapKind.ALLOC)],
+                fn=lambda a, g: None,
+            )
+
+        return card.run([(0, body)], config=RuntimeConfig.IMPLICIT_ZERO_COPY)
+
+    local, remote = run("first-touch"), run("pinned:1")
+    assert local.per_socket_counters[0]["remote_fault_pages"] == 0
+    assert remote.per_socket_counters[0]["remote_fault_pages"] == 8
+    assert remote.elapsed_us > local.elapsed_us
+
+
+def test_fault_surcharge_derived_from_link_parameters():
+    topo = Topology(n_sockets=2, link_bandwidth_gbps=64.0, link_latency_us=0.8)
+    expected = 2 * 0.8 + PAGE_2M / (64.0 * 1e3)
+    assert topo.fault_extra_us_per_page(PAGE_2M) == pytest.approx(expected)
+    override = Topology(n_sockets=2, remote_fault_extra_us_per_page=5.0)
+    assert override.fault_extra_us_per_page(PAGE_2M) == 5.0
+
+
+def test_noise_streams_are_per_socket_seeded():
+    from repro.core.params import CostModel
+
+    def run(seed):
+        card = ApuCard(
+            n_sockets=2, cost=CostModel().with_noise(), seed=seed
+        )
+        return card.run([(0, simple_body()), (1, simple_body())]).elapsed_us
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)
+
+
+# ---------------------------------------------------------------------------
+# frame ownership: tagged pools, routed frees, spill and exhaustion
+# ---------------------------------------------------------------------------
+
+
+def _pools(n=2, frames=4):
+    return [_SocketMemory(s, frames * PAGE_2M, PAGE_2M) for s in range(n)]
+
+
+def test_placement_view_preserves_ownership_tags():
+    pools = _pools()
+    view = PlacementView(0, pools, Interleave())
+    frames = view.alloc_frames(5)
+    assert [frame_owner(f) for f in frames] == [0, 1, 0, 1, 0]
+    # frees route each frame back to its owner, even from another socket
+    other = PlacementView(1, pools, Interleave())
+    other.free_frames(frames)
+    assert all(p.frames_in_use == 0 for p in pools)
+
+
+def test_socket_pool_rejects_foreign_frames():
+    pools = _pools()
+    foreign = pools[1].alloc_frame()
+    with pytest.raises(ValueError):
+        pools[0].free_frame(foreign)
+    own = pools[0].alloc_frame()
+    with pytest.raises(ValueError):
+        pools[0].free_frames([own, foreign])
+    # validation precedes mutation: nothing was freed
+    assert pools[0].frames_in_use == 1 and pools[1].frames_in_use == 1
+    with pytest.raises(ValueError):
+        PlacementView(0, pools, FirstTouch()).free_frames([5 * (1 << 30)])
+
+
+def test_first_touch_spills_then_exhausts():
+    pools = _pools(n=2, frames=4)
+    view = PlacementView(0, pools, FirstTouch())
+    frames = view.alloc_frames(6)
+    # own socket drained first, overflow lands on the neighbour
+    assert [frame_owner(f) for f in frames] == [0, 0, 0, 0, 1, 1]
+    with pytest.raises(OutOfMemoryError):
+        view.alloc_frames(3)  # only 2 frames remain card-wide
+    view.free_frames(frames)
+    assert view.frames_free == 8 and view.frames_in_use == 0
+
+
+def test_pinned_never_spills():
+    pools = _pools(n=2, frames=4)
+    view = PlacementView(0, pools, PinnedHome(1))
+    view.alloc_frames(4)
+    with pytest.raises(OutOfMemoryError):
+        view.alloc_frames(1)  # home full; pinned must not spill
+    assert pools[0].frames_free == 4  # the other socket was never touched

@@ -46,6 +46,10 @@ _SNAPSHOT = {
     "MC-W03": (Analysis.PERF, Severity.WARNING, "perf-fault-storm"),
     "MC-W04": (Analysis.PERF, Severity.WARNING, "perf-global-indirection"),
     "MC-W05": (Analysis.PERF, Severity.WARNING, "perf-noop-update"),
+    "MC-A01": (Analysis.PLACE, Severity.WARNING, "place-remote-fault"),
+    "MC-A02": (Analysis.PLACE, Severity.WARNING, "place-map-churn"),
+    "MC-A03": (Analysis.PLACE, Severity.WARNING, "place-hot-buffer"),
+    "MC-A04": (Analysis.PLACE, Severity.WARNING, "place-shadow-copy"),
 }
 
 #: frozen (breaks_under, passes_under) matrices; None = finding-dependent
@@ -73,6 +77,10 @@ _MATRICES = {
     "MC-W03": ((USM, IZC), (COPY, EAGER)),
     "MC-W04": ((USM,), (COPY, IZC, EAGER)),
     "MC-W05": ((USM, IZC, EAGER), (COPY,)),
+    "MC-A01": ((USM, IZC), (COPY, EAGER)),
+    "MC-A02": ((COPY, EAGER), (USM, IZC)),
+    "MC-A03": ((USM, IZC, EAGER), (COPY,)),
+    "MC-A04": ((COPY,), (USM, IZC, EAGER)),
 }
 
 
@@ -140,6 +148,17 @@ def test_race_rule_matrices_derive_from_config_semantics():
     # MC-S20 must agree with its dynamic twin's matrix bit-for-bit
     assert race_matrix("MC-S20") == CANONICAL_MATRICES["MC-R02"]
     assert race_matrix("MC-S21") == CANONICAL_MATRICES["MC-R01"]
+
+
+def test_place_rule_matrices_derive_from_config_semantics():
+    """MC-A matrices likewise must be derived from the ConfigSemantics
+    predicates ("breaks" = pays the remote-link cost under that config),
+    never hand-copied."""
+    from repro.check.static.place import PLACE_RULE_IDS, place_matrix
+
+    assert set(PLACE_RULE_IDS) == {"MC-A01", "MC-A02", "MC-A03", "MC-A04"}
+    for rid in PLACE_RULE_IDS:
+        assert place_matrix(rid) == CANONICAL_MATRICES[rid], rid
 
 
 def test_families_group_static_with_dynamic():
